@@ -1,0 +1,184 @@
+// Package apknn is the public API of this reproduction of "Similarity Search
+// on Automata Processors" (Lee et al., IPDPS 2017): k-nearest-neighbor
+// similarity search over binary codes executed as nondeterministic finite
+// automata on a simulated Micron Automata Processor.
+//
+// The package ties together the internal substrates — the cycle-accurate AP
+// simulator, the kNN automata generators, the partial-reconfiguration
+// engine, the quantization pipeline and the exact CPU baselines — behind a
+// small searcher interface:
+//
+//	ds := apknn.RandomDataset(seed, n, dim)
+//	s, err := apknn.NewSearcher(ds, apknn.Options{})
+//	results, err := s.Query(queries, k)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-reproduced audit of every table and figure.
+package apknn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/quantize"
+	"repro/internal/stats"
+)
+
+// Vector is a packed binary feature vector.
+type Vector = bitvec.Vector
+
+// Dataset is a collection of equal-dimensionality vectors.
+type Dataset = bitvec.Dataset
+
+// Neighbor is one search result: dataset ID and Hamming distance.
+type Neighbor = knn.Neighbor
+
+// Generation selects the AP hardware generation being modeled. The zero
+// value means Gen2, the sensible default for new work.
+type Generation int
+
+const (
+	// Gen1 is the evaluated current-generation board (45 ms reconfiguration).
+	Gen1 Generation = 1
+	// Gen2 is the projected board with ~100x faster reconfiguration.
+	Gen2 Generation = 2
+)
+
+// Options configures a Searcher.
+type Options struct {
+	// Generation of the modeled board (default Gen2).
+	Generation Generation
+	// Capacity overrides vectors per board configuration (default: the
+	// paper's §V-A capacities — 1024 for d <= 128, 512 above).
+	Capacity int
+	// Exact switches to the semantics-equivalent fast engine, which returns
+	// identical results without cycle-accurate simulation. Use it for large
+	// datasets; the default simulator engine exercises the real automata.
+	Exact bool
+}
+
+// Searcher answers kNN queries against a fixed dataset using the paper's
+// automata design.
+type Searcher struct {
+	engine interface {
+		Query(queries []Vector, k int) ([][]Neighbor, error)
+		Partitions() int
+	}
+	board *ap.Board
+	dim   int
+}
+
+// NewSearcher builds the kNN automata for ds and precompiles its board
+// images.
+func NewSearcher(ds *Dataset, opts Options) (*Searcher, error) {
+	cfg := ap.Gen2()
+	if opts.Generation == Gen1 {
+		cfg = ap.Gen1()
+	}
+	engOpts := core.EngineOptions{Capacity: opts.Capacity}
+	s := &Searcher{dim: ds.Dim()}
+	if opts.Exact {
+		eng, err := core.NewFastEngine(ds, engOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.engine = eng
+		return s, nil
+	}
+	s.board = ap.NewBoard(cfg)
+	eng, err := core.NewEngine(s.board, ds, engOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+	return s, nil
+}
+
+// Query returns the k nearest neighbors of each query, (distance, ID)-sorted
+// with deterministic tie-breaks.
+func (s *Searcher) Query(queries []Vector, k int) ([][]Neighbor, error) {
+	return s.engine.Query(queries, k)
+}
+
+// Partitions reports how many board configurations the dataset spans.
+func (s *Searcher) Partitions() int { return s.engine.Partitions() }
+
+// ModeledTime returns the accumulated AP wall-clock estimate (streaming at
+// 133 MHz plus partial reconfigurations); zero for the exact engine.
+func (s *Searcher) ModeledTime() time.Duration {
+	if s.board == nil {
+		return 0
+	}
+	return s.board.ModeledTime()
+}
+
+// ExactSearch is the CPU reference: an exact multi-threaded linear scan.
+func ExactSearch(ds *Dataset, queries []Vector, k, workers int) [][]Neighbor {
+	return knn.Batch(ds, queries, k, workers)
+}
+
+// Recall returns |got ∩ exact| / |exact| by vector ID.
+func Recall(got, exact []Neighbor) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	ids := make(map[int]bool, len(got))
+	for _, n := range got {
+		ids[n.ID] = true
+	}
+	hit := 0
+	for _, n := range exact {
+		if ids[n.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// RandomDataset generates n uniform binary vectors of the given
+// dimensionality, deterministically from seed.
+func RandomDataset(seed uint64, n, dim int) *Dataset {
+	return bitvec.RandomDataset(stats.NewRNG(seed), n, dim)
+}
+
+// RandomQueries generates q uniform queries.
+func RandomQueries(seed uint64, q, dim int) []Vector {
+	rng := stats.NewRNG(seed)
+	out := make([]Vector, q)
+	for i := range out {
+		out[i] = bitvec.Random(rng, dim)
+	}
+	return out
+}
+
+// QuantizeITQ trains Iterative Quantization on the real-valued training
+// vectors and encodes data into a binary dataset of the given code length —
+// the offline pipeline the paper assumes (§II-A).
+func QuantizeITQ(training, data [][]float64, bits int, seed uint64) (*Dataset, *quantize.ITQ, error) {
+	itq, err := quantize.TrainITQ(training, quantize.ITQConfig{Bits: bits}, stats.NewRNG(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return quantize.EncodeDataset(itq, data), itq, nil
+}
+
+// ParseVector parses a "1011"-style bit string.
+func ParseVector(s string) (Vector, error) {
+	return bitvec.ParseBits(s)
+}
+
+// String describes the modeled hardware for display purposes.
+func (g Generation) String() string {
+	switch g {
+	case Gen1:
+		return "AP Gen 1"
+	case Gen2, 0:
+		return "AP Gen 2"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}

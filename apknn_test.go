@@ -1,0 +1,102 @@
+package apknn_test
+
+import (
+	"testing"
+
+	apknn "repro"
+)
+
+func TestSearcherMatchesExact(t *testing.T) {
+	ds := apknn.RandomDataset(1, 80, 32)
+	queries := apknn.RandomQueries(2, 5, 32)
+	for _, exact := range []bool{false, true} {
+		s, err := apknn.NewSearcher(ds, apknn.Options{Exact: exact, Capacity: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Partitions() != 3 {
+			t.Fatalf("partitions = %d, want 3", s.Partitions())
+		}
+		got, err := s.Query(queries, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := apknn.ExactSearch(ds, queries, 4, 2)
+		for qi := range queries {
+			for j := range want[qi] {
+				if got[qi][j] != want[qi][j] {
+					t.Errorf("exact=%v query %d rank %d: %v vs %v", exact, qi, j, got[qi][j], want[qi][j])
+				}
+			}
+			if r := apknn.Recall(got[qi], want[qi]); r != 1 {
+				t.Errorf("recall = %v, want 1", r)
+			}
+		}
+	}
+}
+
+func TestSearcherModeledTime(t *testing.T) {
+	ds := apknn.RandomDataset(3, 40, 16)
+	s, err := apknn.NewSearcher(ds, apknn.Options{Generation: apknn.Gen1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(apknn.RandomQueries(4, 2, 16), 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.ModeledTime() <= 0 {
+		t.Error("modeled time not accumulated")
+	}
+}
+
+func TestQuantizePipeline(t *testing.T) {
+	// End to end: floats -> ITQ -> binary dataset -> searcher.
+	training := make([][]float64, 0, 60)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			v := make([]float64, 16)
+			for j := range v {
+				v[j] = float64(c*7) + float64(i%5)*0.1 + float64(j%3)
+			}
+			training = append(training, v)
+		}
+	}
+	ds, itq, err := apknn.QuantizeITQ(training, training, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 60 || ds.Dim() != 8 {
+		t.Fatalf("encoded dataset %dx%d", ds.Len(), ds.Dim())
+	}
+	if itq.Bits() != 8 {
+		t.Errorf("Bits = %d", itq.Bits())
+	}
+	s, err := apknn.NewSearcher(ds, apknn.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := itq.Encode(training[0])
+	res, err := s.Query([]apknn.Vector{q}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != 3 || res[0][0].Dist != 0 {
+		t.Errorf("self-query results = %v", res[0])
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := apknn.ParseVector("1011")
+	if err != nil || v.Dim() != 4 || !v.Bit(0) || v.Bit(1) {
+		t.Errorf("ParseVector = %v, %v", v, err)
+	}
+	if _, err := apknn.ParseVector("10x"); err == nil {
+		t.Error("bad vector accepted")
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if apknn.Gen1.String() != "AP Gen 1" || apknn.Gen2.String() != "AP Gen 2" {
+		t.Error("Generation.String wrong")
+	}
+}

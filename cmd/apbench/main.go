@@ -1,0 +1,211 @@
+// Command apbench regenerates every table and figure-level experiment of the
+// paper's evaluation section, printing published-vs-reproduced comparisons.
+//
+//	apbench -table 4          # one table (1-8)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux)
+//	apbench -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux")
+	all := flag.Bool("all", false, "run every table and experiment")
+	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
+	flag.Parse()
+
+	if *all {
+		for t := 1; t <= 8; t++ {
+			runTable(t, *runs)
+		}
+		for _, e := range []string{"util", "bandwidth", "packing", "mux"} {
+			runExperiment(e)
+		}
+		return
+	}
+	switch {
+	case *table != 0:
+		runTable(*table, *runs)
+	case *exp != "":
+		runExperiment(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable(t, runs int) {
+	switch t {
+	case 1:
+		table1()
+	case 2:
+		table2()
+	case 3:
+		rt, en := perfmodel.CompareTable3()
+		rt.Render(os.Stdout)
+		en.Render(os.Stdout)
+	case 4:
+		rt, en := perfmodel.CompareTable4()
+		rt.Render(os.Stdout)
+		en.Render(os.Stdout)
+	case 5:
+		cs := perfmodel.CompareTable5()
+		cs.Render(os.Stdout)
+	case 6:
+		table6(runs)
+	case 7:
+		cs := perfmodel.CompareTable7()
+		cs.Render(os.Stdout)
+	case 8:
+		cs := perfmodel.CompareTable8()
+		cs.Render(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "apbench: unknown table %d (want 1-8)\n", t)
+		os.Exit(2)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	tb := report.NewTable("Table I: evaluated platforms",
+		"platform", "type", "cores", "process (nm)", "clock (MHz)")
+	for _, p := range perfmodel.Platforms() {
+		cores := fmt.Sprintf("%d", p.Cores)
+		if p.Cores == 0 {
+			cores = "N/A"
+		}
+		tb.Row(p.Name, p.Type, cores, p.ProcessNm, p.ClockMHz)
+	}
+	tb.Render(os.Stdout)
+}
+
+func table2() {
+	tb := report.NewTable("Table II: kNN workload parameters",
+		"workload", "dimensionality", "neighbors", "queries")
+	for _, w := range workload.All() {
+		tb.Row("kNN-"+w.Name, w.Dim, w.K, w.Queries)
+	}
+	tb.Render(os.Stdout)
+}
+
+func table6(runs int) {
+	var cs report.ComparisonSet
+	cs.Name = fmt.Sprintf("Table VI: %% incorrect results of statistical activation reduction (p=16, n=1024, %d runs, strict mode)", runs)
+	rng := stats.NewRNG(1234)
+	for _, w := range workload.All() {
+		for _, kPrime := range []int{1, 2, 3, 4} {
+			res := core.RunReduction(core.ReductionExperiment{
+				Dim: w.Dim, N: 1024, P: 16, K: w.K, KPrime: kPrime,
+				Runs: runs, Mode: core.SuppressStrict,
+			}, rng)
+			cs.Add(fmt.Sprintf("%s k=%d k'=%d", w.Name, w.K, kPrime),
+				perfmodel.PaperTable6[w.Name][kPrime], res.IncorrectPercent, "%")
+		}
+	}
+	cs.Render(os.Stdout)
+	fmt.Println()
+
+	tb := report.NewTable("Table VI addendum: faithful-hardware mode (see EXPERIMENTS.md)",
+		"config", "incorrect (%)", "bandwidth reduction")
+	tb.AlignLeft(0)
+	for _, w := range workload.All() {
+		for _, kPrime := range []int{1, 2, 3, 4} {
+			res := core.RunReduction(core.ReductionExperiment{
+				Dim: w.Dim, N: 1024, P: 16, K: w.K, KPrime: kPrime,
+				Runs: runs, Mode: core.SuppressFaithful,
+			}, rng)
+			tb.Row(fmt.Sprintf("%s k=%d k'=%d", w.Name, w.K, kPrime),
+				res.IncorrectPercent, fmt.Sprintf("%.1fx", res.BandwidthFactor))
+		}
+	}
+	tb.Render(os.Stdout)
+}
+
+func runExperiment(name string) {
+	switch name {
+	case "util":
+		cs, err := perfmodel.CompareUtilization()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		cs.Render(os.Stdout)
+	case "bandwidth":
+		cs := perfmodel.CompareBandwidth()
+		cs.Render(os.Stdout)
+	case "packing":
+		packingExperiment()
+	case "mux":
+		muxExperiment()
+	default:
+		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+	fmt.Println()
+}
+
+// packingExperiment is the Fig. 5 microbenchmark: place-and-route 8 vectors
+// across 32/64/128 dimensions, packed versus plain, reporting STEs and
+// routing pressure (§VI-A found packing compile-limited by routing).
+func packingExperiment() {
+	tb := report.NewTable("Fig. 5 / §VI-A: vector packing microbenchmark (8 vectors)",
+		"dims", "plain STEs", "packed STEs", "analytical savings", "plain pressure", "packed pressure")
+	rng := stats.NewRNG(77)
+	for _, dim := range []int{32, 64, 128} {
+		ds := bitvec.RandomDataset(rng, 8, dim)
+		l := core.NewLayout(dim)
+		plainNet := automata.NewNetwork()
+		core.BuildLinear(plainNet, ds, l)
+		packedNet := automata.NewNetwork()
+		core.BuildPacked(packedNet, ds, l, 0)
+		cfg := ap.Gen1()
+		plain, err := ap.Compile(plainNet, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		packed, err := ap.Compile(packedNet, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		tb.Row(dim, plain.STEs, packed.STEs,
+			fmt.Sprintf("%.2fx", core.PackingSavings(l, 8)),
+			plain.RoutingPressure, packed.RoutingPressure)
+	}
+	tb.Render(os.Stdout)
+}
+
+// muxExperiment demonstrates §VI-B: seven queries per stream pass at 7x the
+// STE cost.
+func muxExperiment() {
+	rng := stats.NewRNG(88)
+	const dim, n = 32, 16
+	ds := bitvec.RandomDataset(rng, n, dim)
+	l := core.NewLayout(dim)
+	tb := report.NewTable("Fig. 6 / §VI-B: symbol stream multiplexing",
+		"slices", "STEs", "stream symbols for 14 queries", "throughput gain")
+	queries := workload.Queries(rng, 14, dim)
+	for _, slices := range []int{1, 2, 4, 7} {
+		net := automata.NewNetwork()
+		core.BuildMux(net, ds, l, slices)
+		stream := core.BuildMuxStream(queries, l, slices)
+		tb.Row(slices, net.Stats().STEs, len(stream),
+			fmt.Sprintf("%.0fx", core.MuxThroughputGain(slices)))
+	}
+	tb.Render(os.Stdout)
+}

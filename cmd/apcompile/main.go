@@ -1,0 +1,88 @@
+// Command apcompile builds the paper's kNN automata for a workload, places
+// them on the modeled AP board, prints the apadmin-style compilation report
+// (§V-A), and optionally exports the design as ANML.
+//
+//	apcompile -workload SIFT
+//	apcompile -n 64 -dim 32 -anml design.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/anml"
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "", "Table II workload (WordEmbed, SIFT, TagSpace); overrides -n/-dim")
+	n := flag.Int("n", 256, "dataset vectors to encode")
+	dim := flag.Int("dim", 64, "code dimensionality")
+	seed := flag.Uint64("seed", 7, "random seed")
+	anmlOut := flag.String("anml", "", "write the design as ANML XML to this file")
+	paperArea := flag.Bool("paper-area", true, "apply the §V-A calibrated routing-area factor")
+	packed := flag.Bool("packed", false, "use the §VI-A vector-packed design")
+	flag.Parse()
+
+	if *wname != "" {
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apcompile:", err)
+			os.Exit(2)
+		}
+		*dim = w.Dim
+		*n = core.DefaultBoardCapacity(w.Dim)
+	}
+
+	ds := bitvec.RandomDataset(stats.NewRNG(*seed), *n, *dim)
+	layout := core.NewLayout(*dim)
+	net := automata.NewNetwork()
+	if *packed {
+		core.BuildPacked(net, ds, layout, 0)
+	} else {
+		core.BuildLinear(net, ds, layout)
+	}
+	if err := net.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "apcompile: invalid design:", err)
+		os.Exit(1)
+	}
+
+	cfg := ap.Gen1()
+	if *paperArea {
+		cfg.CompilerAreaFactor = ap.PaperAreaFactor
+	}
+	placement, err := ap.Compile(net, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apcompile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("design: %d vectors x %d dims (%s)\n", *n, *dim, designKind(*packed))
+	fmt.Print(placement.Report())
+
+	if *anmlOut != "" {
+		f, err := os.Create(*anmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apcompile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := anml.Encode(f, net, fmt.Sprintf("knn-%dx%d", *n, *dim)); err != nil {
+			fmt.Fprintln(os.Stderr, "apcompile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ANML written to %s\n", *anmlOut)
+	}
+}
+
+func designKind(packed bool) string {
+	if packed {
+		return "vector-packed, §VI-A"
+	}
+	return "one macro per vector, §III"
+}

@@ -1,0 +1,80 @@
+// Command apknn runs end-to-end k-nearest-neighbor search on the simulated
+// Automata Processor and cross-checks the result against the exact CPU scan.
+//
+//	apknn -n 2048 -dim 64 -q 8 -k 4 -gen 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	apknn "repro"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	n := flag.Int("n", 2048, "dataset size")
+	dim := flag.Int("dim", 64, "code dimensionality")
+	q := flag.Int("q", 8, "number of queries")
+	k := flag.Int("k", 4, "neighbors per query")
+	gen := flag.Int("gen", 2, "AP generation (1 or 2)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	exact := flag.Bool("fast", false, "use the semantics-equivalent fast engine instead of cycle-accurate simulation")
+	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
+	verbose := flag.Bool("v", false, "print each query's neighbors")
+	flag.Parse()
+
+	ds := apknn.RandomDataset(*seed, *n, *dim)
+	queries := apknn.RandomQueries(*seed+1, *q, *dim)
+
+	opts := apknn.Options{Exact: *exact, Capacity: *capacity}
+	if *gen == 1 {
+		opts.Generation = apknn.Gen1
+	}
+	searcher, err := apknn.NewSearcher(ds, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apknn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d vectors x %d bits, %d board configuration(s) on %s\n",
+		*n, *dim, searcher.Partitions(), opts.Generation)
+
+	results, err := searcher.Query(queries, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apknn:", err)
+		os.Exit(1)
+	}
+	reference := apknn.ExactSearch(ds, queries, *k, 4)
+
+	agree := 0
+	for qi := range queries {
+		match := len(results[qi]) == len(reference[qi])
+		if match {
+			for j := range results[qi] {
+				if results[qi][j] != reference[qi][j] {
+					match = false
+					break
+				}
+			}
+		}
+		if match {
+			agree++
+		}
+		if *verbose {
+			fmt.Printf("query %d:\n", qi)
+			for rank, nb := range results[qi] {
+				fmt.Printf("  #%d id=%d hamming=%d\n", rank+1, nb.ID, nb.Dist)
+			}
+		}
+	}
+	fmt.Printf("AP result agreement with exact CPU scan: %d/%d queries\n", agree, len(queries))
+	if t := searcher.ModeledTime(); t > 0 {
+		fmt.Printf("modeled AP time (133 MHz stream + reconfiguration): %v\n", t)
+	}
+	armTime := perfmodel.CPUTime(perfmodel.CortexA15(), *n, *q, *dim)
+	fmt.Printf("modeled ARM Cortex A15 time for the same batch: %v\n", armTime)
+	if agree != len(queries) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command aptrace prints the cycle-accurate execution traces of the paper's
+// Fig. 3 (one macro) and Fig. 4 (temporal sort of two vectors).
+//
+//	aptrace                       # Fig. 3: vector 1011, query 1001
+//	aptrace -two                  # Fig. 4: vectors 1011 and 0000
+//	aptrace -vector 110010 -query 101010 -layout safe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+func main() {
+	vecStr := flag.String("vector", "1011", "encoded dataset vector bits")
+	vecBStr := flag.String("vector2", "0000", "second vector for -two")
+	queryStr := flag.String("query", "1001", "query vector bits")
+	two := flag.Bool("two", false, "trace two vectors (Fig. 4)")
+	layoutName := flag.String("layout", "paper", "stream layout: paper (Fig. 3 exact) or safe (monotonic)")
+	flag.Parse()
+
+	vec, err := bitvec.ParseBits(*vecStr)
+	exitOn(err)
+	query, err := bitvec.ParseBits(*queryStr)
+	exitOn(err)
+	if vec.Dim() != query.Dim() {
+		exitOn(fmt.Errorf("vector dim %d != query dim %d", vec.Dim(), query.Dim()))
+	}
+
+	var layout core.Layout
+	switch *layoutName {
+	case "paper":
+		layout = core.PaperLayout(vec.Dim())
+	case "safe":
+		layout = core.NewLayout(vec.Dim())
+	default:
+		exitOn(fmt.Errorf("unknown layout %q", *layoutName))
+	}
+
+	net := automata.NewNetwork()
+	core.BuildMacro(net, vec, layout, 0)
+	if *two {
+		vecB, err := bitvec.ParseBits(*vecBStr)
+		exitOn(err)
+		core.BuildMacro(net, vecB, layout, 1)
+		fmt.Printf("Fig. 4 trace: A=%s B=%s query=%s (%s layout)\n", *vecStr, *vecBStr, *queryStr, *layoutName)
+	} else {
+		fmt.Printf("Fig. 3 trace: vector=%s query=%s (%s layout)\n", *vecStr, *queryStr, *layoutName)
+	}
+
+	sim, err := automata.NewSimulator(net)
+	exitOn(err)
+	sim.Trace = func(tc automata.CycleTrace) {
+		names := make([]string, 0, len(tc.Active))
+		for _, id := range tc.Active {
+			name := net.NameOf(id)
+			if name == "" {
+				name = fmt.Sprintf("e%d", id)
+			}
+			names = append(names, name)
+		}
+		var counts []string
+		for _, c := range tc.Counters {
+			counts = append(counts, fmt.Sprintf("%s=%d", net.NameOf(c.Element), c.Count))
+		}
+		fmt.Printf("t=%2d sym=%s  active: %-40s  %s\n",
+			tc.Cycle+1, symName(tc.Symbol), strings.Join(names, " "), strings.Join(counts, " "))
+	}
+	reports := sim.Run(core.BuildQueryStream(query, layout))
+	for _, r := range reports {
+		ihd, err := layout.IHDFromCycle(r.Cycle)
+		suffix := ""
+		if err == nil {
+			suffix = fmt.Sprintf(" (inverted Hamming distance %d, Hamming distance %d)",
+				ihd, layout.Dim-ihd)
+		}
+		fmt.Printf("report: vector %d at cycle %d (t=%d)%s\n", r.ReportID, r.Cycle, r.Cycle+1, suffix)
+	}
+}
+
+func symName(b byte) string {
+	switch b {
+	case core.SymSOF:
+		return "SOF "
+	case core.SymEOF:
+		return "EOF "
+	case core.SymPad:
+		return "^EOF"
+	case core.SymBit0:
+		return "0   "
+	case core.SymBit1:
+		return "1   "
+	default:
+		return fmt.Sprintf("%02x  ", b)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aptrace:", err)
+		os.Exit(1)
+	}
+}

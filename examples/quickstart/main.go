@@ -1,0 +1,40 @@
+// Quickstart: the sixty-second tour of the library — build a binary dataset,
+// run kNN on the simulated Automata Processor, and verify against the exact
+// CPU scan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apknn "repro"
+)
+
+func main() {
+	// A dataset of 1,000 binary codes of 64 bits (one board configuration),
+	// as produced by offline quantization such as ITQ.
+	ds := apknn.RandomDataset(42, 1000, 64)
+	queries := apknn.RandomQueries(43, 5, 64)
+
+	// The searcher compiles one Hamming + sorting macro per vector onto the
+	// modeled AP board and answers queries with the temporally encoded sort.
+	searcher, err := apknn.NewSearcher(ds, apknn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := searcher.Query(queries, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact := apknn.ExactSearch(ds, queries, 3, 4)
+	for qi, neighbors := range results {
+		fmt.Printf("query %d:\n", qi)
+		for rank, n := range neighbors {
+			fmt.Printf("  #%d  vector %4d  hamming distance %2d\n", rank+1, n.ID, n.Dist)
+		}
+		fmt.Printf("  recall vs exact CPU scan: %.0f%%\n", 100*apknn.Recall(neighbors, exact[qi]))
+	}
+	fmt.Printf("\nboard configurations used: %d\n", searcher.Partitions())
+	fmt.Printf("modeled AP execution time: %v\n", searcher.ModeledTime())
+}

@@ -1,0 +1,235 @@
+package ap
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/automata"
+)
+
+func TestDeviceCapacities(t *testing.T) {
+	cfg := Gen1()
+	// Paper §II-B: 24,576 STEs per half core, 1,572,864 per device... a
+	// device here being the 4-rank board of 64 half-cores.
+	if STEsPerHalfCore != 24576 {
+		t.Errorf("STEsPerHalfCore = %d, want 24576", STEsPerHalfCore)
+	}
+	if got := cfg.HalfCores(); got != 64 {
+		t.Errorf("HalfCores = %d, want 64", got)
+	}
+	if got := cfg.TotalSTEs(); got != 1572864 {
+		t.Errorf("TotalSTEs = %d, want 1572864", got)
+	}
+	if got := cfg.TotalCounters(); got != 64*96*4 {
+		t.Errorf("TotalCounters = %d", got)
+	}
+}
+
+func TestSymbolPeriod(t *testing.T) {
+	cfg := Gen1()
+	// 133 MHz -> 7.5 ns (paper §VI-C "2d x 7.5ns (133 MHz design)").
+	got := cfg.SymbolPeriod()
+	if got < 7*time.Nanosecond || got > 8*time.Nanosecond {
+		t.Errorf("SymbolPeriod = %v, want ~7.5ns", got)
+	}
+}
+
+func TestGen2ReconfigRatio(t *testing.T) {
+	g1, g2 := Gen1(), Gen2()
+	ratio := float64(g1.ReconfigLatency) / float64(g2.ReconfigLatency)
+	// Paper §III-C: Gen 2 projected ~100x faster.
+	if ratio < 90 || ratio > 110 {
+		t.Errorf("reconfig ratio = %v, want ~100", ratio)
+	}
+}
+
+// chainNet builds a simple linear NFA of n STEs with one counter.
+func chainNet(n int) *automata.Network {
+	net := automata.NewNetwork()
+	prev := net.AddSTE(automata.SingleClass(1), automata.WithStart(automata.StartAll))
+	for i := 1; i < n; i++ {
+		cur := net.AddSTE(automata.AllClass())
+		net.Connect(prev, cur)
+		prev = cur
+	}
+	ctr := net.AddCounter(2, automata.CounterPulse)
+	net.ConnectCount(prev, ctr)
+	rep := net.AddSTE(automata.AllClass(), automata.WithReport(1))
+	net.Connect(ctr, rep)
+	return net
+}
+
+func TestCompileSingleComponent(t *testing.T) {
+	net := chainNet(10)
+	p, err := Compile(net, Gen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(p.Components))
+	}
+	if p.STEs != 11 || p.Counters != 1 {
+		t.Errorf("STEs=%d counters=%d, want 11/1", p.STEs, p.Counters)
+	}
+	if p.BlocksUsed != 1 {
+		t.Errorf("BlocksUsed = %d, want 1", p.BlocksUsed)
+	}
+	if !p.Routable() {
+		t.Error("small chain should be routable")
+	}
+}
+
+func TestCompileManyComponents(t *testing.T) {
+	// 100 independent NFAs of ~300 STEs: each needs 2 blocks.
+	net := automata.NewNetwork()
+	for c := 0; c < 100; c++ {
+		prev := net.AddSTE(automata.SingleClass(1), automata.WithStart(automata.StartAll))
+		for i := 1; i < 300; i++ {
+			cur := net.AddSTE(automata.AllClass())
+			net.Connect(prev, cur)
+			prev = cur
+		}
+	}
+	p, err := Compile(net, Gen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 100 {
+		t.Fatalf("components = %d, want 100", len(p.Components))
+	}
+	if p.BlocksUsed != 200 {
+		t.Errorf("BlocksUsed = %d, want 200", p.BlocksUsed)
+	}
+	if p.Utilization() <= 0 || p.Utilization() > 1 {
+		t.Errorf("Utilization = %v", p.Utilization())
+	}
+}
+
+func TestCompileRejectsOversizedNFA(t *testing.T) {
+	net := chainNet(STEsPerHalfCore + 10)
+	if _, err := Compile(net, Gen1()); err == nil {
+		t.Error("oversized NFA accepted")
+	}
+}
+
+func TestCompileRejectsOverfullBoard(t *testing.T) {
+	// A 1-rank board has 16 half-cores = 1536 blocks. 1600 components of a
+	// full block each cannot fit.
+	cfg := Gen1()
+	cfg.Ranks = 1
+	net := automata.NewNetwork()
+	for c := 0; c < 1600; c++ {
+		prev := net.AddSTE(automata.SingleClass(1), automata.WithStart(automata.StartAll))
+		for i := 1; i < 256; i++ {
+			cur := net.AddSTE(automata.AllClass())
+			net.Connect(prev, cur)
+			prev = cur
+		}
+	}
+	if _, err := Compile(net, cfg); err == nil {
+		t.Error("overfull design accepted")
+	}
+}
+
+func TestRoutingPressure(t *testing.T) {
+	// A hub state with fan-out far beyond the budget must raise pressure.
+	net := automata.NewNetwork()
+	hub := net.AddSTE(automata.SingleClass(1), automata.WithStart(automata.StartAll))
+	for i := 0; i < 100; i++ {
+		s := net.AddSTE(automata.AllClass())
+		net.Connect(hub, s)
+	}
+	p, err := Compile(net, Gen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RoutingPressure == 0 {
+		t.Error("high fan-out produced zero routing pressure")
+	}
+}
+
+func TestComponentBlocksBoundedByScarcestResource(t *testing.T) {
+	// 5 counters but only 2 STEs: counters (4/block) dominate -> 2 blocks.
+	use := ComponentUse{STEs: 2, Counters: 5}
+	if got := use.Blocks(); got != 2 {
+		t.Errorf("Blocks = %d, want 2", got)
+	}
+	use = ComponentUse{STEs: 300}
+	if got := use.Blocks(); got != 2 {
+		t.Errorf("Blocks = %d, want 2", got)
+	}
+	use = ComponentUse{Reporting: 33}
+	if got := use.Blocks(); got != 2 {
+		t.Errorf("Blocks = %d, want 2", got)
+	}
+}
+
+func TestBoardStreamAndTiming(t *testing.T) {
+	b := NewBoard(Gen1())
+	net := chainNet(4)
+	if err := b.Configure(net); err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]byte, 1330) // 1330 symbols at 133 MHz = 10 us
+	for i := range stream {
+		stream[i] = 1
+	}
+	b.Stream(stream)
+	got := b.ModeledTime()
+	want := 10 * time.Microsecond
+	if got < want*9/10 || got > want*11/10 {
+		t.Errorf("ModeledTime = %v, want ~%v", got, want)
+	}
+	// Second configuration charges one reconfiguration.
+	if err := b.Configure(chainNet(4)); err != nil {
+		t.Fatal(err)
+	}
+	got = b.ModeledTime()
+	if got < Gen1().ReconfigLatency {
+		t.Errorf("ModeledTime after reconfig = %v, want >= %v", got, Gen1().ReconfigLatency)
+	}
+	if b.Reconfigs() != 2 {
+		t.Errorf("Reconfigs = %d, want 2", b.Reconfigs())
+	}
+}
+
+func TestBoardStreamUnconfiguredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Stream on unconfigured board did not panic")
+		}
+	}()
+	NewBoard(Gen1()).Stream([]byte{1})
+}
+
+func TestBoardFunctionalExecution(t *testing.T) {
+	b := NewBoard(Gen2())
+	net := automata.NewNetwork()
+	a := net.AddSTE(automata.SingleClass('a'), automata.WithStart(automata.StartAll))
+	bb := net.AddSTE(automata.SingleClass('b'), automata.WithReport(3))
+	net.Connect(a, bb)
+	if err := b.Configure(net); err != nil {
+		t.Fatal(err)
+	}
+	reports := b.Stream([]byte("abab"))
+	if len(reports) != 2 {
+		t.Fatalf("reports = %v, want 2", reports)
+	}
+	if b.ReportsEmitted() != 2 || b.SymbolsStreamed() != 4 {
+		t.Errorf("counters: reports=%d symbols=%d", b.ReportsEmitted(), b.SymbolsStreamed())
+	}
+}
+
+func TestPlacementReport(t *testing.T) {
+	p, err := Compile(chainNet(10), Gen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Report()
+	for _, want := range []string{"STEs", "counters", "blocks", "utilization", "routable"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

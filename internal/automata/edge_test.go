@@ -1,0 +1,158 @@
+package automata
+
+import (
+	"testing"
+)
+
+// Edge-case and failure-injection tests for the simulator.
+
+func TestEmptyStream(t *testing.T) {
+	net := buildSequenceMatcher("ab")
+	sim := MustSimulator(net)
+	if got := sim.Run(nil); len(got) != 0 {
+		t.Errorf("empty stream produced reports: %v", got)
+	}
+	if sim.Cycle() != 0 {
+		t.Errorf("cycle = %d after empty stream", sim.Cycle())
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	net, _ := buildCounterNet(3, CounterPulse)
+	sim := MustSimulator(net)
+	first := sim.Run([]byte("aaa..r"))
+	second := sim.Run([]byte("aaa..r"))
+	if len(first) != len(second) {
+		t.Fatalf("runs differ: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("report %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestSimultaneousResetAndIncrement(t *testing.T) {
+	// A symbol that drives both ports on the same cycle: reset must win
+	// (the counter's reset port has priority, §II-B).
+	net := NewNetwork()
+	both := net.AddSTE(SingleClass('x'), WithStart(StartAll))
+	c := net.AddCounter(2, CounterPulse)
+	net.ConnectCount(both, c)
+	net.ConnectReset(both, c)
+	out := net.AddSTE(AllClass(), WithReport(1))
+	net.Connect(c, out)
+	sim := MustSimulator(net)
+	reports := sim.Run([]byte("xxxxxx"))
+	if len(reports) != 0 {
+		t.Errorf("counter fired despite same-cycle resets: %v", reports)
+	}
+	if got := sim.CounterValue(c); got != 0 {
+		t.Errorf("count = %d, want 0 under reset priority", got)
+	}
+}
+
+func TestThresholdOneCounter(t *testing.T) {
+	net, _ := buildCounterNet(1, CounterPulse)
+	sim := MustSimulator(net)
+	// One increment -> immediate threshold -> report one cycle later.
+	reports := sim.Run([]byte("a.."))
+	if len(reports) != 1 || reports[0].Cycle != 2 {
+		t.Errorf("threshold-1 reports = %v, want one at cycle 2", reports)
+	}
+}
+
+func TestStepReturnsOnlyNewReports(t *testing.T) {
+	net := NewNetwork()
+	net.AddSTE(SingleClass('a'), WithStart(StartAll), WithReport(1))
+	sim := MustSimulator(net)
+	sim.Reset()
+	if got := sim.Step('a'); len(got) != 1 {
+		t.Fatalf("step 1 reports = %v", got)
+	}
+	if got := sim.Step('b'); len(got) != 0 {
+		t.Errorf("step 2 reports = %v, want none", got)
+	}
+	if got := sim.Step('a'); len(got) != 1 {
+		t.Errorf("step 3 reports = %v, want one", got)
+	}
+}
+
+func TestSelfLoopOnStartState(t *testing.T) {
+	// A start state with a self loop stays active for runs of its symbol.
+	net := NewNetwork()
+	a := net.AddSTE(SingleClass('a'), WithStart(StartAll), WithReport(1))
+	net.Connect(a, a)
+	sim := MustSimulator(net)
+	if got := len(sim.Run([]byte("aaa"))); got != 3 {
+		t.Errorf("self-looping start matched %d times, want 3", got)
+	}
+}
+
+func TestDynamicCounterTiesDoNotFire(t *testing.T) {
+	// A == B must not activate the A > B comparator.
+	net := NewNetwork()
+	en := net.AddSTE(SingleClass('x'), WithStart(StartAll))
+	b := net.AddCounter(1<<20, CounterPulse)
+	net.ConnectCount(en, b)
+	a := net.AddDynamicCounter(b, WithReport(5))
+	net.ConnectCount(en, a)
+	sim := MustSimulator(net)
+	// Both counters increment in lockstep: always equal, never A > B.
+	if got := sim.Run([]byte("xxxxxx")); len(got) != 0 {
+		t.Errorf("equal counts reported: %v", got)
+	}
+}
+
+func TestLargeFanoutCorrectness(t *testing.T) {
+	// One source driving 500 reporting STEs: all must fire exactly once.
+	net := NewNetwork()
+	src := net.AddSTE(SingleClass('s'), WithStart(StartAll))
+	for i := 0; i < 500; i++ {
+		dst := net.AddSTE(AllClass(), WithReport(int32(i)))
+		net.Connect(src, dst)
+	}
+	sim := MustSimulator(net)
+	reports := sim.Run([]byte("s."))
+	if len(reports) != 500 {
+		t.Fatalf("got %d reports, want 500", len(reports))
+	}
+	seen := map[int32]bool{}
+	for _, r := range reports {
+		if r.Cycle != 1 {
+			t.Errorf("report %d at cycle %d, want 1", r.ReportID, r.Cycle)
+		}
+		if seen[r.ReportID] {
+			t.Errorf("duplicate report %d", r.ReportID)
+		}
+		seen[r.ReportID] = true
+	}
+}
+
+func TestDiamondTopologySingleActivation(t *testing.T) {
+	// Two paths converging on one state within the same cycle must produce
+	// exactly one activation (and one report).
+	net := NewNetwork()
+	a1 := net.AddSTE(SingleClass('a'), WithStart(StartAll))
+	a2 := net.AddSTE(SingleClass('a'), WithStart(StartAll))
+	join := net.AddSTE(AllClass(), WithReport(9))
+	net.Connect(a1, join)
+	net.Connect(a2, join)
+	sim := MustSimulator(net)
+	reports := sim.Run([]byte("a."))
+	if len(reports) != 1 {
+		t.Errorf("diamond join reported %d times, want 1", len(reports))
+	}
+}
+
+func TestCounterValuePanicsOnNonCounter(t *testing.T) {
+	net := NewNetwork()
+	ste := net.AddSTE(AllClass(), WithStart(StartAll))
+	sim := MustSimulator(net)
+	defer func() {
+		if recover() == nil {
+			t.Error("CounterValue on STE did not panic")
+		}
+	}()
+	sim.CounterValue(ste)
+}

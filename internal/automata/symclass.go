@@ -1,0 +1,223 @@
+// Package automata implements the execution substrate of the Micron Automata
+// Processor (AP): nondeterministic finite automata extended with the AP's
+// hardware elements — state transition elements (STEs) that match 8-bit
+// symbol classes, saturating threshold counters with count-enable and reset
+// ports, and two-input boolean elements — driven cycle by cycle from an
+// external symbol stream (paper §II-B).
+//
+// The simulator reproduces the AP's timing model: an element's activation is
+// visible to its successors on the following cycle, counters increment by at
+// most one per cycle, and reporting elements emit (report ID, cycle offset)
+// records exactly like the AP's reporting STEs.
+package automata
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SymbolClass is a set of 8-bit symbols, the AP's per-STE match condition
+// (a PCRE character class in the AP programming model). It is a 256-bit
+// bitmap indexed by symbol value.
+type SymbolClass [4]uint64
+
+// EmptyClass matches no symbol.
+func EmptyClass() SymbolClass { return SymbolClass{} }
+
+// AllClass matches every symbol — the "*" state of the paper's figures.
+func AllClass() SymbolClass {
+	return SymbolClass{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// SingleClass matches exactly one symbol.
+func SingleClass(b byte) SymbolClass {
+	var c SymbolClass
+	c.Add(b)
+	return c
+}
+
+// RangeClass matches the inclusive symbol range [lo, hi].
+func RangeClass(lo, hi byte) SymbolClass {
+	var c SymbolClass
+	for s := int(lo); s <= int(hi); s++ {
+		c.Add(byte(s))
+	}
+	return c
+}
+
+// ClassOf matches exactly the listed symbols.
+func ClassOf(symbols ...byte) SymbolClass {
+	var c SymbolClass
+	for _, s := range symbols {
+		c.Add(s)
+	}
+	return c
+}
+
+// Add inserts symbol b into the class.
+func (c *SymbolClass) Add(b byte) {
+	c[b>>6] |= 1 << (uint(b) & 63)
+}
+
+// Remove deletes symbol b from the class.
+func (c *SymbolClass) Remove(b byte) {
+	c[b>>6] &^= 1 << (uint(b) & 63)
+}
+
+// Match reports whether symbol b is in the class.
+func (c SymbolClass) Match(b byte) bool {
+	return c[b>>6]>>(uint(b)&63)&1 == 1
+}
+
+// Negate returns the complement class — e.g. the "^EOF" class of the
+// paper's sort state.
+func (c SymbolClass) Negate() SymbolClass {
+	return SymbolClass{^c[0], ^c[1], ^c[2], ^c[3]}
+}
+
+// Union returns the set union of c and o.
+func (c SymbolClass) Union(o SymbolClass) SymbolClass {
+	return SymbolClass{c[0] | o[0], c[1] | o[1], c[2] | o[2], c[3] | o[3]}
+}
+
+// Intersect returns the set intersection of c and o.
+func (c SymbolClass) Intersect(o SymbolClass) SymbolClass {
+	return SymbolClass{c[0] & o[0], c[1] & o[1], c[2] & o[2], c[3] & o[3]}
+}
+
+// Minus returns the set difference c \ o.
+func (c SymbolClass) Minus(o SymbolClass) SymbolClass {
+	return SymbolClass{c[0] &^ o[0], c[1] &^ o[1], c[2] &^ o[2], c[3] &^ o[3]}
+}
+
+// Count returns the number of symbols in the class.
+func (c SymbolClass) Count() int {
+	return bits.OnesCount64(c[0]) + bits.OnesCount64(c[1]) +
+		bits.OnesCount64(c[2]) + bits.OnesCount64(c[3])
+}
+
+// IsEmpty reports whether the class matches no symbol.
+func (c SymbolClass) IsEmpty() bool {
+	return c == SymbolClass{}
+}
+
+// Equal reports whether two classes match the same symbol set.
+func (c SymbolClass) Equal(o SymbolClass) bool { return c == o }
+
+// TernaryClass parses an 8-character bit pattern of '0', '1' and '*'
+// (most-significant bit first, the paper's "0b*******1" notation from §VI-B)
+// and returns the class of all symbols consistent with it. A leading "0b"
+// prefix is permitted.
+func TernaryClass(pattern string) (SymbolClass, error) {
+	p := strings.TrimPrefix(pattern, "0b")
+	if len(p) != 8 {
+		return SymbolClass{}, fmt.Errorf("automata: ternary pattern %q must have 8 bit positions", pattern)
+	}
+	var care, value byte
+	for i, r := range p {
+		bit := uint(7 - i)
+		switch r {
+		case '0':
+			care |= 1 << bit
+		case '1':
+			care |= 1 << bit
+			value |= 1 << bit
+		case '*':
+		default:
+			return SymbolClass{}, fmt.Errorf("automata: invalid ternary rune %q in %q", r, pattern)
+		}
+	}
+	var c SymbolClass
+	for s := 0; s < 256; s++ {
+		if byte(s)&care == value {
+			c.Add(byte(s))
+		}
+	}
+	return c, nil
+}
+
+// MinimalBitWidth returns the smallest number of symbol-stream bit positions
+// a lookup table needs to observe to decide membership in the class. This is
+// the quantity the STE-decomposition extension exploits (paper §VII-C): a
+// class whose membership depends on w bits fits in a 2^w-entry LUT, so a
+// decomposed STE of w inputs can implement it.
+//
+// Formally it finds the minimum-cardinality set B of bit positions such that
+// any two symbols agreeing on B are either both in or both out of the class.
+// The search space is the 256 subsets of {0..7}, checked exactly.
+func (c SymbolClass) MinimalBitWidth() int {
+	if c.IsEmpty() || c.Equal(AllClass()) {
+		return 0 // constant function: no input bits needed
+	}
+	best := 8
+	for mask := 0; mask < 256; mask++ {
+		w := bits.OnesCount8(uint8(mask))
+		if w >= best {
+			continue
+		}
+		if c.dependsOnlyOn(byte(mask)) {
+			best = w
+		}
+	}
+	return best
+}
+
+// dependsOnlyOn reports whether class membership is a function of only the
+// bit positions set in mask. It groups the 256 symbols by their projection
+// onto mask and checks each group is uniform.
+func (c SymbolClass) dependsOnlyOn(mask byte) bool {
+	// state per projection: 0 = unseen, 1 = all out so far, 2 = all in so far
+	var seen [256]byte
+	for s := 0; s < 256; s++ {
+		key := byte(s) & mask
+		in := c.Match(byte(s))
+		want := byte(1)
+		if in {
+			want = 2
+		}
+		switch seen[key] {
+		case 0:
+			seen[key] = want
+		case want:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the class compactly as sorted ranges, e.g. "[0x00-0x01 0x41]".
+func (c SymbolClass) String() string {
+	if c.IsEmpty() {
+		return "[]"
+	}
+	if c.Equal(AllClass()) {
+		return "[*]"
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	first := true
+	s := 0
+	for s < 256 {
+		if !c.Match(byte(s)) {
+			s++
+			continue
+		}
+		start := s
+		for s < 256 && c.Match(byte(s)) {
+			s++
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		if start == s-1 {
+			fmt.Fprintf(&sb, "0x%02X", start)
+		} else {
+			fmt.Fprintf(&sb, "0x%02X-0x%02X", start, s-1)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

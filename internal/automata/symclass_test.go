@@ -1,0 +1,172 @@
+package automata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolClassBasics(t *testing.T) {
+	c := SingleClass('a')
+	if !c.Match('a') || c.Match('b') {
+		t.Error("SingleClass membership wrong")
+	}
+	if c.Count() != 1 {
+		t.Errorf("Count = %d, want 1", c.Count())
+	}
+	c.Add('z')
+	if !c.Match('z') || c.Count() != 2 {
+		t.Error("Add failed")
+	}
+	c.Remove('a')
+	if c.Match('a') || c.Count() != 1 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestAllAndEmpty(t *testing.T) {
+	all, empty := AllClass(), EmptyClass()
+	if all.Count() != 256 || empty.Count() != 0 {
+		t.Fatalf("counts: all=%d empty=%d", all.Count(), empty.Count())
+	}
+	for s := 0; s < 256; s++ {
+		if !all.Match(byte(s)) {
+			t.Fatalf("AllClass missing %d", s)
+		}
+		if empty.Match(byte(s)) {
+			t.Fatalf("EmptyClass contains %d", s)
+		}
+	}
+	if !all.Negate().Equal(empty) || !empty.Negate().Equal(all) {
+		t.Error("Negate of all/empty wrong")
+	}
+}
+
+func TestRangeClass(t *testing.T) {
+	c := RangeClass('a', 'f')
+	if c.Count() != 6 {
+		t.Errorf("Count = %d, want 6", c.Count())
+	}
+	if !c.Match('a') || !c.Match('f') || c.Match('g') || c.Match('`') {
+		t.Error("range membership wrong")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := RangeClass(0, 9)
+	b := RangeClass(5, 15)
+	if got := a.Union(b).Count(); got != 16 {
+		t.Errorf("Union count = %d, want 16", got)
+	}
+	if got := a.Intersect(b).Count(); got != 5 {
+		t.Errorf("Intersect count = %d, want 5", got)
+	}
+	if got := a.Minus(b).Count(); got != 5 {
+		t.Errorf("Minus count = %d, want 5", got)
+	}
+}
+
+// Property: De Morgan's law on symbol classes.
+func TestClassDeMorgan(t *testing.T) {
+	f := func(a, b SymbolClass) bool {
+		lhs := a.Union(b).Negate()
+		rhs := a.Negate().Intersect(b.Negate())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Negate is an involution and Count(Negate) = 256 - Count.
+func TestClassNegateInvolution(t *testing.T) {
+	f := func(a SymbolClass) bool {
+		return a.Negate().Negate().Equal(a) && a.Negate().Count() == 256-a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTernaryClass(t *testing.T) {
+	// Paper §VI-B: 0b*******1 matches all symbols whose low bit is 1.
+	c, err := TernaryClass("0b*******1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 128 {
+		t.Fatalf("Count = %d, want 128", c.Count())
+	}
+	for s := 0; s < 256; s++ {
+		want := s&1 == 1
+		if c.Match(byte(s)) != want {
+			t.Fatalf("symbol %#x: match = %v, want %v", s, c.Match(byte(s)), want)
+		}
+	}
+	exact, err := TernaryClass("01000001") // 'A', no prefix
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Equal(SingleClass('A')) {
+		t.Error("exact ternary pattern != SingleClass")
+	}
+	star, err := TernaryClass("********")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !star.Equal(AllClass()) {
+		t.Error("all-star ternary pattern != AllClass")
+	}
+}
+
+func TestTernaryClassErrors(t *testing.T) {
+	if _, err := TernaryClass("0b***"); err == nil {
+		t.Error("short pattern accepted")
+	}
+	if _, err := TernaryClass("0b*******2"); err == nil {
+		t.Error("invalid rune accepted")
+	}
+}
+
+func TestMinimalBitWidth(t *testing.T) {
+	cases := []struct {
+		name string
+		c    SymbolClass
+		want int
+	}{
+		{"all", AllClass(), 0},
+		{"empty", EmptyClass(), 0},
+		{"single", SingleClass(0x41), 8},
+		{"low bit", mustTernary(t, "0b*******1"), 1},
+		{"bit 5", mustTernary(t, "0b**1*****"), 1},
+		{"two bits", mustTernary(t, "0b**1****0"), 2},
+		{"low nibble", mustTernary(t, "0b****0110"), 4},
+		{"ascii half", RangeClass(0, 127), 1}, // depends only on bit 7
+	}
+	for _, c := range cases {
+		if got := c.c.MinimalBitWidth(); got != c.want {
+			t.Errorf("%s: MinimalBitWidth = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func mustTernary(t *testing.T, p string) SymbolClass {
+	t.Helper()
+	c, err := TernaryClass(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassString(t *testing.T) {
+	if s := AllClass().String(); s != "[*]" {
+		t.Errorf("AllClass.String = %q", s)
+	}
+	if s := EmptyClass().String(); s != "[]" {
+		t.Errorf("EmptyClass.String = %q", s)
+	}
+	c := ClassOf(0x00, 0x01, 0x41)
+	if s := c.String(); s != "[0x00-0x01 0x41]" {
+		t.Errorf("String = %q", s)
+	}
+}

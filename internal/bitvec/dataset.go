@@ -1,0 +1,99 @@
+package bitvec
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Dataset is a collection of equal-dimensionality binary vectors stored
+// contiguously, the in-memory layout the scan kernels stream through. Index
+// positions double as the vector IDs the automata reporting states return.
+type Dataset struct {
+	dim     int
+	wordsPV int // words per vector
+	words   []uint64
+	n       int
+}
+
+// NewDataset returns an empty dataset for vectors of the given dimensionality.
+func NewDataset(dim int) *Dataset {
+	if dim <= 0 {
+		panic(fmt.Sprintf("bitvec: non-positive dimensionality %d", dim))
+	}
+	return &Dataset{dim: dim, wordsPV: WordsFor(dim)}
+}
+
+// RandomDataset returns a dataset of n independent uniform vectors.
+func RandomDataset(rng *stats.RNG, n, dim int) *Dataset {
+	ds := NewDataset(dim)
+	for i := 0; i < n; i++ {
+		ds.Append(Random(rng, dim))
+	}
+	return ds
+}
+
+// Dim returns the vector dimensionality.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+// Len returns the number of vectors.
+func (ds *Dataset) Len() int { return ds.n }
+
+// Append adds a vector and returns its ID. It panics on a dimensionality
+// mismatch.
+func (ds *Dataset) Append(v Vector) int {
+	if v.Dim() != ds.dim {
+		panic(fmt.Sprintf("bitvec: dataset dim %d, vector dim %d", ds.dim, v.Dim()))
+	}
+	ds.words = append(ds.words, v.Words()...)
+	id := ds.n
+	ds.n++
+	return id
+}
+
+// At returns vector i without copying; the returned vector aliases dataset
+// storage and must not be mutated.
+func (ds *Dataset) At(i int) Vector {
+	if i < 0 || i >= ds.n {
+		panic(fmt.Sprintf("bitvec: dataset index %d out of range [0,%d)", i, ds.n))
+	}
+	return Vector{dim: ds.dim, words: ds.words[i*ds.wordsPV : (i+1)*ds.wordsPV]}
+}
+
+// WordsAt returns the packed words of vector i for kernel use.
+func (ds *Dataset) WordsAt(i int) []uint64 {
+	return ds.words[i*ds.wordsPV : (i+1)*ds.wordsPV]
+}
+
+// Slice returns a new dataset sharing storage with vectors [lo, hi).
+func (ds *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > ds.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: slice [%d,%d) out of range [0,%d)", lo, hi, ds.n))
+	}
+	return &Dataset{
+		dim:     ds.dim,
+		wordsPV: ds.wordsPV,
+		words:   ds.words[lo*ds.wordsPV : hi*ds.wordsPV],
+		n:       hi - lo,
+	}
+}
+
+// Subset returns a new dataset containing copies of the vectors at ids.
+func (ds *Dataset) Subset(ids []int) *Dataset {
+	out := NewDataset(ds.dim)
+	for _, id := range ids {
+		out.Append(ds.At(id))
+	}
+	return out
+}
+
+// Hamming returns the Hamming distance between vector i and q.
+func (ds *Dataset) Hamming(i int, q Vector) int {
+	return ds.At(i).Hamming(q)
+}
+
+// BytesEncoded returns the total number of data bits encoded, the figure the
+// paper reports as "128 Kb of encoded data per board configuration" (§V-A).
+func (ds *Dataset) BytesEncoded() int {
+	return ds.n * ds.dim / 8
+}

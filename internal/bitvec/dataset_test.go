@@ -1,0 +1,94 @@
+package bitvec
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDatasetAppendAt(t *testing.T) {
+	ds := NewDataset(64)
+	rng := stats.NewRNG(3)
+	var originals []Vector
+	for i := 0; i < 10; i++ {
+		v := Random(rng, 64)
+		originals = append(originals, v)
+		if id := ds.Append(v); id != i {
+			t.Fatalf("Append returned id %d, want %d", id, i)
+		}
+	}
+	if ds.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ds.Len())
+	}
+	for i, v := range originals {
+		if !ds.At(i).Equal(v) {
+			t.Errorf("vector %d does not round trip", i)
+		}
+	}
+}
+
+func TestDatasetAppendDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with wrong dim did not panic")
+		}
+	}()
+	NewDataset(64).Append(New(32))
+}
+
+func TestDatasetSlice(t *testing.T) {
+	rng := stats.NewRNG(11)
+	ds := RandomDataset(rng, 20, 32)
+	s := ds.Slice(5, 12)
+	if s.Len() != 7 {
+		t.Fatalf("slice Len = %d, want 7", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !s.At(i).Equal(ds.At(i + 5)) {
+			t.Errorf("slice vector %d differs from source %d", i, i+5)
+		}
+	}
+}
+
+func TestDatasetSubset(t *testing.T) {
+	rng := stats.NewRNG(13)
+	ds := RandomDataset(rng, 16, 48)
+	ids := []int{3, 0, 15, 7}
+	sub := ds.Subset(ids)
+	if sub.Len() != len(ids) {
+		t.Fatalf("subset Len = %d, want %d", sub.Len(), len(ids))
+	}
+	for i, id := range ids {
+		if !sub.At(i).Equal(ds.At(id)) {
+			t.Errorf("subset vector %d differs from source %d", i, id)
+		}
+	}
+}
+
+func TestDatasetHamming(t *testing.T) {
+	ds := NewDataset(4)
+	a, _ := ParseBits("1011")
+	ds.Append(a)
+	q, _ := ParseBits("1001")
+	if d := ds.Hamming(0, q); d != 1 {
+		t.Errorf("dataset Hamming = %d, want 1", d)
+	}
+}
+
+func TestDatasetBytesEncoded(t *testing.T) {
+	// Paper §V-A: 1024 vectors x 128 dims = 128 Kb = 16 KB of encoded data.
+	ds := RandomDataset(stats.NewRNG(1), 1024, 128)
+	if got := ds.BytesEncoded(); got != 16*1024 {
+		t.Errorf("BytesEncoded = %d, want %d", got, 16*1024)
+	}
+}
+
+func TestDatasetAtOutOfRangePanics(t *testing.T) {
+	ds := RandomDataset(stats.NewRNG(2), 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	ds.At(4)
+}

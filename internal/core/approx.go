@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+)
+
+// ApproxEngine is the statistical-activation-reduction engine: the linear
+// kNN design of Engine with every partition's macros grouped under local
+// neighbor counters (§VI-C, Fig. 7). Each group of P macros reports only
+// its nearest members per query, cutting report bandwidth by roughly P/k'
+// while returning the exact top-k with high probability — the mostly-correct
+// trade the paper quantifies in Table VI.
+type ApproxEngine struct {
+	board      *ap.Board
+	layout     Layout
+	capacity   int
+	groupSize  int
+	kPrime     int
+	partitions []partition
+	datasetLen int
+}
+
+// NewApproxEngine partitions ds into board images of reduction groups.
+// groupSize is the paper's p (16 in Table VI); kPrime the local suppression
+// threshold.
+func NewApproxEngine(board *ap.Board, ds *bitvec.Dataset, opts EngineOptions, groupSize, kPrime int) (*ApproxEngine, error) {
+	layout := NewLayout(ds.Dim())
+	if opts.Layout != nil {
+		layout = *opts.Layout
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if groupSize <= 1 {
+		return nil, fmt.Errorf("core: reduction group size %d must exceed 1", groupSize)
+	}
+	if kPrime <= 0 {
+		return nil, fmt.Errorf("core: kPrime %d must be positive", kPrime)
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultBoardCapacity(ds.Dim())
+	}
+	e := &ApproxEngine{
+		board: board, layout: layout, capacity: capacity,
+		groupSize: groupSize, kPrime: kPrime, datasetLen: ds.Len(),
+	}
+	for lo := 0; lo < ds.Len(); lo += capacity {
+		hi := lo + capacity
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		net := automata.NewNetwork()
+		for glo := lo; glo < hi; glo += groupSize {
+			ghi := glo + groupSize
+			if ghi > hi {
+				ghi = hi
+			}
+			if ghi-glo < 2 {
+				// A trailing singleton group gets a plain macro: suppression
+				// over one vector is meaningless.
+				BuildMacro(net, ds.At(glo), e.layout, int32(glo-lo))
+				continue
+			}
+			BuildReductionGroup(net, ds.Slice(glo, ghi), e.layout, kPrime, int32(glo-lo))
+		}
+		if err := net.Validate(); err != nil {
+			return nil, fmt.Errorf("core: reduction partition [%d,%d): %w", lo, hi, err)
+		}
+		placement, err := ap.Compile(net, board.Config())
+		if err != nil {
+			return nil, fmt.Errorf("core: reduction partition [%d,%d): %w", lo, hi, err)
+		}
+		e.partitions = append(e.partitions, partition{
+			net: net, placement: placement, idOffset: lo, size: hi - lo,
+		})
+	}
+	return e, nil
+}
+
+// Partitions returns the number of board configurations.
+func (e *ApproxEngine) Partitions() int { return len(e.partitions) }
+
+// KPrime returns the local suppression threshold.
+func (e *ApproxEngine) KPrime() int { return e.kPrime }
+
+// Query answers the batch approximately: suppressed vectors never report, so
+// the host sorts only the surviving candidates. Results are exact whenever
+// each query's true top-k survives suppression (Table VI measures how often
+// that fails).
+func (e *ApproxEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	results := make([][]knn.Neighbor, len(queries))
+	stream := BuildStream(queries, e.layout)
+	for _, p := range e.partitions {
+		if err := e.board.ConfigurePlaced(p.net, p.placement); err != nil {
+			return nil, err
+		}
+		reports := e.board.Stream(stream)
+		decoded, err := DecodeReports(reports, e.layout, len(queries), p.idOffset)
+		if err != nil {
+			return nil, err
+		}
+		for qi := range queries {
+			results[qi] = knn.MergeTopK(results[qi], TopK(decoded[qi], k), k)
+		}
+	}
+	return results, nil
+}
+
+// ReportsDelivered returns how many report records the board has emitted so
+// far; compared against Engine's n-per-query this measures the achieved
+// bandwidth reduction.
+func (e *ApproxEngine) ReportsDelivered() int { return e.board.ReportsEmitted() }

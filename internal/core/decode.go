@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/knn"
+)
+
+// DecodeReports converts raw AP report records into per-query neighbor
+// lists. Each reporting activation carries the vector's report ID and the
+// cycle offset at which its counter crossed the threshold; the offset within
+// the query window encodes the inverted Hamming distance (§III-B), which the
+// host converts back to a Hamming distance. Result lists are sorted by
+// (distance, ID) — equidistant vectors report on the same cycle and the host
+// breaks the tie by ID.
+//
+// idOffset translates macro-local report IDs into global dataset IDs, which
+// the partial-reconfiguration driver uses across board configurations.
+func DecodeReports(reports []automata.Report, l Layout, numQueries, idOffset int) ([][]knn.Neighbor, error) {
+	out := make([][]knn.Neighbor, numQueries)
+	for _, r := range reports {
+		q, off := l.WindowOf(r.Cycle)
+		if q >= numQueries {
+			return nil, fmt.Errorf("core: report at cycle %d beyond the %d-query stream", r.Cycle, numQueries)
+		}
+		ihd, err := l.IHDFromCycle(off)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", q, err)
+		}
+		out[q] = append(out[q], knn.Neighbor{
+			ID:   idOffset + int(r.ReportID),
+			Dist: l.Dim - ihd,
+		})
+	}
+	for _, ns := range out {
+		knn.SortNeighbors(ns)
+	}
+	return out, nil
+}
+
+// TopK truncates a (Dist, ID)-sorted neighbor list to its k best entries.
+func TopK(ns []knn.Neighbor, k int) []knn.Neighbor {
+	if k > len(ns) {
+		k = len(ns)
+	}
+	return ns[:k]
+}

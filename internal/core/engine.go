@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+)
+
+// DefaultBoardCapacity returns the number of dataset vectors one board
+// configuration holds, calibrated to the paper's §V-A compilation reports:
+// one configuration encodes up to 128 Kb of data — 1024 vectors at up to 128
+// dimensions, 512 vectors at 256 dimensions (kNN-WordEmbed is additionally
+// PCIe-limited to 1024).
+func DefaultBoardCapacity(dim int) int {
+	if dim <= 128 {
+		return 1024
+	}
+	return 512
+}
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Layout overrides the default monotonic layout.
+	Layout *Layout
+	// Capacity overrides vectors per board configuration (0 = paper default).
+	Capacity int
+}
+
+// partition is one precompiled board image (§III-C: "we assume these
+// additional configurations are precompiled into a set of board images").
+type partition struct {
+	net       *automata.Network
+	placement *ap.Placement
+	idOffset  int
+	size      int
+}
+
+// Engine executes exact Hamming kNN on a simulated AP board, scaling past
+// the board capacity with partial reconfiguration: queries are streamed
+// against each precompiled dataset partition in turn and the host merges the
+// per-partition top-k results (§III-C).
+type Engine struct {
+	board      *ap.Board
+	layout     Layout
+	capacity   int
+	partitions []partition
+	datasetLen int
+}
+
+// NewEngine partitions ds into board images, builds the kNN automata for
+// each, and precompiles their placements.
+func NewEngine(board *ap.Board, ds *bitvec.Dataset, opts EngineOptions) (*Engine, error) {
+	layout := NewLayout(ds.Dim())
+	if opts.Layout != nil {
+		layout = *opts.Layout
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultBoardCapacity(ds.Dim())
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: non-positive board capacity %d", capacity)
+	}
+	e := &Engine{board: board, layout: layout, capacity: capacity, datasetLen: ds.Len()}
+	for lo := 0; lo < ds.Len(); lo += capacity {
+		hi := lo + capacity
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		net := automata.NewNetwork()
+		BuildLinear(net, ds.Slice(lo, hi), layout)
+		if err := net.Validate(); err != nil {
+			return nil, fmt.Errorf("core: partition [%d,%d): %w", lo, hi, err)
+		}
+		placement, err := ap.Compile(net, board.Config())
+		if err != nil {
+			return nil, fmt.Errorf("core: partition [%d,%d): %w", lo, hi, err)
+		}
+		e.partitions = append(e.partitions, partition{
+			net: net, placement: placement, idOffset: lo, size: hi - lo,
+		})
+	}
+	return e, nil
+}
+
+// Layout returns the engine's stream layout.
+func (e *Engine) Layout() Layout { return e.layout }
+
+// Partitions returns the number of board configurations the dataset needs.
+func (e *Engine) Partitions() int { return len(e.partitions) }
+
+// Board returns the underlying board (for modeled-time queries).
+func (e *Engine) Board() *ap.Board { return e.board }
+
+// Query answers a batch of queries with the k nearest neighbors each,
+// reconfiguring the board once per dataset partition and merging results on
+// the host. Results are (distance, ID)-sorted.
+func (e *Engine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	for i, q := range queries {
+		if q.Dim() != e.layout.Dim {
+			return nil, fmt.Errorf("core: query %d has dim %d, want %d", i, q.Dim(), e.layout.Dim)
+		}
+	}
+	results := make([][]knn.Neighbor, len(queries))
+	stream := BuildStream(queries, e.layout)
+	for _, p := range e.partitions {
+		if err := e.board.ConfigurePlaced(p.net, p.placement); err != nil {
+			return nil, err
+		}
+		reports := e.board.Stream(stream)
+		decoded, err := DecodeReports(reports, e.layout, len(queries), p.idOffset)
+		if err != nil {
+			return nil, err
+		}
+		for qi := range queries {
+			results[qi] = knn.MergeTopK(results[qi], TopK(decoded[qi], k), k)
+		}
+	}
+	return results, nil
+}

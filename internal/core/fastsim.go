@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+)
+
+// FastEngine is a semantics-equivalent model of Engine: it computes the same
+// per-query neighbor lists — including partition boundaries, report-cycle
+// encoding and tie behaviour — directly from Hamming distances, without
+// cycle-accurate simulation. Property tests in this package verify it
+// against the real automata execution; the large Monte Carlo experiments
+// (Table VI) and the million-vector workloads run on it.
+type FastEngine struct {
+	ds       *bitvec.Dataset
+	layout   Layout
+	capacity int
+}
+
+// NewFastEngine mirrors NewEngine's partitioning without building automata.
+func NewFastEngine(ds *bitvec.Dataset, opts EngineOptions) (*FastEngine, error) {
+	layout := NewLayout(ds.Dim())
+	if opts.Layout != nil {
+		layout = *opts.Layout
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultBoardCapacity(ds.Dim())
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: non-positive board capacity %d", capacity)
+	}
+	return &FastEngine{ds: ds, layout: layout, capacity: capacity}, nil
+}
+
+// Layout returns the stream layout.
+func (f *FastEngine) Layout() Layout { return f.layout }
+
+// Partitions returns the number of board configurations the dataset needs.
+func (f *FastEngine) Partitions() int {
+	return (f.ds.Len() + f.capacity - 1) / f.capacity
+}
+
+// ReportCycles returns, for one query, the window-relative cycle at which
+// each dataset vector's macro reports — the temporal-sort encoding a real
+// board would emit.
+func (f *FastEngine) ReportCycles(q bitvec.Vector) []int {
+	out := make([]int, f.ds.Len())
+	for i := 0; i < f.ds.Len(); i++ {
+		ihd := f.ds.Dim() - f.ds.Hamming(i, q)
+		out[i] = f.layout.ReportCycle(ihd)
+	}
+	return out
+}
+
+// Query returns the same results Engine.Query produces.
+func (f *FastEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	results := make([][]knn.Neighbor, len(queries))
+	for lo := 0; lo < f.ds.Len(); lo += f.capacity {
+		hi := lo + f.capacity
+		if hi > f.ds.Len() {
+			hi = f.ds.Len()
+		}
+		part := f.ds.Slice(lo, hi)
+		for qi, q := range queries {
+			if q.Dim() != f.layout.Dim {
+				return nil, fmt.Errorf("core: query %d has dim %d, want %d", qi, q.Dim(), f.layout.Dim)
+			}
+			local := knn.Linear(part, q, k)
+			for i := range local {
+				local[i].ID += lo
+			}
+			results[qi] = knn.MergeTopK(results[qi], local, k)
+		}
+	}
+	return results, nil
+}
+
+// SymbolsStreamed returns the total symbols a board would consume answering
+// numQueries queries: one full query stream per partition (§III-C).
+func (f *FastEngine) SymbolsStreamed(numQueries int) int {
+	return f.Partitions() * numQueries * f.layout.StreamLen()
+}
+
+// ReportRecords returns the number of report records a board would emit: one
+// per (partition vector, query).
+func (f *FastEngine) ReportRecords(numQueries int) int {
+	return f.ds.Len() * numQueries
+}

@@ -1,0 +1,99 @@
+package fpga
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+	"repro/internal/stats"
+)
+
+func TestSearchMatchesCPU(t *testing.T) {
+	rng := stats.NewRNG(11)
+	ds := bitvec.RandomDataset(rng, 200, 64)
+	queries := make([]bitvec.Vector, 37) // ragged final batch
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, 64)
+	}
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acc.Search(ds, queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knn.Batch(ds, queries, 5, 1)
+	for qi := range queries {
+		if len(res.Neighbors[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(res.Neighbors[qi]), len(want[qi]))
+		}
+		for j := range want[qi] {
+			if res.Neighbors[qi][j] != want[qi][j] {
+				t.Errorf("query %d rank %d: fpga %v, cpu %v", qi, j, res.Neighbors[qi][j], want[qi][j])
+			}
+		}
+	}
+	if res.Cycles <= 0 || res.Time <= 0 {
+		t.Errorf("cycle model produced %d cycles, %v", res.Cycles, res.Time)
+	}
+}
+
+func TestPriorityQueueExact(t *testing.T) {
+	pq := newPriorityQueue(3)
+	for _, n := range []knn.Neighbor{{ID: 1, Dist: 9}, {ID: 2, Dist: 3}, {ID: 3, Dist: 7}, {ID: 4, Dist: 1}, {ID: 5, Dist: 3}} {
+		pq.insert(n)
+	}
+	want := []knn.Neighbor{{ID: 4, Dist: 1}, {ID: 2, Dist: 3}, {ID: 5, Dist: 3}}
+	if len(pq.entries) != 3 {
+		t.Fatalf("queue holds %d, want 3", len(pq.entries))
+	}
+	for i := range want {
+		if pq.entries[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, pq.entries[i], want[i])
+		}
+	}
+}
+
+func TestModelTimeMatchesPaperScale(t *testing.T) {
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table III Kintex-7: 1.89 ms for WordEmbed-small; model within 2x.
+	got := acc.ModelTime(1024, 64, 4096)
+	if got < 900*time.Microsecond || got > 4*time.Millisecond {
+		t.Errorf("ModelTime = %v, paper reports 1.89ms", got)
+	}
+	// Large: 1.85 s.
+	got = acc.ModelTime(1<<20, 64, 4096)
+	if got < 900*time.Millisecond || got > 4*time.Second {
+		t.Errorf("large ModelTime = %v, paper reports 1.85s", got)
+	}
+}
+
+func TestModelTimeScalesWithDim(t *testing.T) {
+	acc, _ := New(DefaultConfig())
+	t64 := acc.ModelTime(1<<20, 64, 4096)
+	t256 := acc.ModelTime(1<<20, 256, 4096)
+	ratio := t256.Seconds() / t64.Seconds()
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("d=256/d=64 time ratio = %v, want ~4 (streamed bits)", ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	acc, _ := New(DefaultConfig())
+	rng := stats.NewRNG(1)
+	ds := bitvec.RandomDataset(rng, 4, 32)
+	if _, err := acc.Search(ds, []bitvec.Vector{bitvec.Random(rng, 32)}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := acc.Search(ds, []bitvec.Vector{bitvec.Random(rng, 64)}, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+	"repro/internal/stats"
+)
+
+func TestSearchMatchesCPU(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ds := bitvec.RandomDataset(rng, 150, 64)
+	queries := make([]bitvec.Vector, 11)
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, 64)
+	}
+	dev, err := New(TegraK1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Search(ds, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knn.Batch(ds, queries, 4, 1)
+	for qi := range queries {
+		for j := range want[qi] {
+			if res.Neighbors[qi][j] != want[qi][j] {
+				t.Errorf("query %d rank %d: gpu %v, cpu %v", qi, j, res.Neighbors[qi][j], want[qi][j])
+			}
+		}
+	}
+}
+
+func TestModelTimeMatchesPaper(t *testing.T) {
+	tk1, _ := New(TegraK1())
+	// Table III: 125.80 ms, WordEmbed small.
+	got := tk1.ModelTime(1024, 4096)
+	if got < 100*time.Millisecond || got > 170*time.Millisecond {
+		t.Errorf("TK1 small = %v, paper 125.8ms", got)
+	}
+	// Table IV: ~16 s large, flat across dimensionality.
+	got = tk1.ModelTime(1<<20, 4096)
+	if got < 12*time.Second || got > 22*time.Second {
+		t.Errorf("TK1 large = %v, paper ~16s", got)
+	}
+	titan, _ := New(TitanX())
+	got = titan.ModelTime(1<<20, 4096)
+	if got < 700*time.Millisecond || got > 1500*time.Millisecond {
+		t.Errorf("Titan X large = %v, paper ~1s", got)
+	}
+}
+
+func TestTitanFasterThanTegra(t *testing.T) {
+	tk1, _ := New(TegraK1())
+	titan, _ := New(TitanX())
+	if titan.ModelTime(1<<20, 4096) >= tk1.ModelTime(1<<20, 4096) {
+		t.Error("Titan X should beat Tegra K1")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	dev, _ := New(TitanX())
+	rng := stats.NewRNG(1)
+	if _, err := dev.Search(bitvec.RandomDataset(rng, 4, 16), []bitvec.Vector{bitvec.Random(rng, 16)}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package perfmodel
+
+import (
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// macroDecomposition builds one real kNN macro of the given dimensionality
+// and analyzes its STE widths.
+func macroDecomposition(dim int) *core.DecompositionReport {
+	net := automata.NewNetwork()
+	core.BuildMacro(net, bitvec.Random(stats.NewRNG(1), dim), core.NewLayout(dim), 0)
+	return core.AnalyzeDecomposition(net)
+}
+
+// IndexingModel is the §V-B analytical model behind Table V: "we use an
+// analytical model to estimate run time by benchmarking the index traversals
+// on the CPU, and adding it to estimated AP reconfiguration and simulated
+// run time." Bucket size equals one board configuration.
+type IndexingModel struct {
+	// ProbesPerQuery is how many bucket loads one query triggers on the AP
+	// (trees: parallel trees plus backtracking; MPLSH: exact buckets plus
+	// hash-distance-one probes across tables).
+	ProbesPerQuery float64
+	// TraversalNsPerQuery is the host-side index-walk cost.
+	TraversalNsPerQuery float64
+}
+
+// IndexingModels returns the per-structure parameters used for Table V.
+// KD: 4 randomized trees with ~2.25 leaf visits each; K-means: branching-8
+// tree, ~8 leaf visits with per-level centroid distances on the host;
+// MPLSH: 4 tables, exact bucket + 9 single-bit probes each.
+func IndexingModels() map[string]IndexingModel {
+	return map[string]IndexingModel{
+		"Linear (No Index)": {ProbesPerQuery: 0},
+		"KD-Tree":           {ProbesPerQuery: 9, TraversalNsPerQuery: 800},
+		"K-Means":           {ProbesPerQuery: 8, TraversalNsPerQuery: 2800},
+		"MPLSH":             {ProbesPerQuery: 40, TraversalNsPerQuery: 400},
+	}
+}
+
+// IndexedAPTime models ARM+AP indexed search: the host walks the index and
+// loads each probed bucket as one board configuration, streaming the query
+// over it (§III-D).
+func IndexedAPTime(cfg ap.DeviceConfig, m IndexingModel, n, queries, dim int) time.Duration {
+	if m.ProbesPerQuery == 0 {
+		return APTime(cfg, n, queries, dim)
+	}
+	probes := m.ProbesPerQuery * float64(queries)
+	reconfig := time.Duration(probes * float64(cfg.ReconfigLatency))
+	stream := time.Duration(probes * float64(APSymbolsPerQuery(dim)) * float64(cfg.SymbolPeriod()))
+	traversal := time.Duration(m.TraversalNsPerQuery * float64(queries))
+	return reconfig + stream + traversal
+}
+
+// IndexingSpeedup returns the Table V ratio: single-threaded ARM linear scan
+// over ARM+AP time for the given indexing structure.
+func IndexingSpeedup(cfg ap.DeviceConfig, m IndexingModel, n, queries, dim int) float64 {
+	baseline := SingleThreadCPUTime(CortexA15(), n, queries, dim)
+	t := IndexedAPTime(cfg, m, n, queries, dim)
+	return baseline.Seconds() / t.Seconds()
+}

@@ -1,0 +1,39 @@
+package perfmodel
+
+import (
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// UtilizationFor compiles one board configuration of real kNN automata for a
+// workload and returns the placement, the §V-A experiment. The dataset size
+// is the workload's per-configuration capacity.
+func UtilizationFor(w workload.Params, rng *stats.RNG) (*ap.Placement, error) {
+	n := core.DefaultBoardCapacity(w.Dim)
+	ds := bitvec.RandomDataset(rng, n, w.Dim)
+	net := automata.NewNetwork()
+	core.BuildLinear(net, ds, core.NewLayout(w.Dim))
+	cfg := ap.Gen1()
+	cfg.CompilerAreaFactor = ap.PaperAreaFactor
+	return ap.Compile(net, cfg)
+}
+
+// CompareUtilization builds the §V-A paper-vs-reproduced utilization audit.
+func CompareUtilization() (report.ComparisonSet, error) {
+	var cs report.ComparisonSet
+	cs.Name = "§V-A: board utilization per configuration"
+	rng := stats.NewRNG(51)
+	for _, w := range workload.All() {
+		placement, err := UtilizationFor(w, rng)
+		if err != nil {
+			return cs, err
+		}
+		cs.Add(w.Name, 100*PaperUtilization[w.Name], 100*placement.Utilization(), "%")
+	}
+	return cs, nil
+}

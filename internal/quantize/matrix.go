@@ -1,0 +1,220 @@
+// Package quantize converts real-valued feature vectors into the binary
+// codes the kNN pipeline searches. The paper assumes dataset vectors are
+// "quantized offline using techniques like ITQ" (§II-A); this package
+// implements Iterative Quantization (Gong & Lazebnik) — PCA projection
+// followed by alternating rotation optimization — plus a random-hyperplane
+// baseline, entirely on the standard library (a Jacobi eigensolver stands in
+// for LAPACK).
+package quantize
+
+import (
+	"fmt"
+	"math"
+)
+
+// matrix is a dense row-major float64 matrix, just large enough for ITQ's
+// needs (covariances and rotations are bits x bits, at most 256 x 256).
+type matrix struct {
+	rows, cols int
+	a          []float64
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, a: make([]float64, rows*cols)}
+}
+
+func (m *matrix) at(i, j int) float64     { return m.a[i*m.cols+j] }
+func (m *matrix) set(i, j int, v float64) { m.a[i*m.cols+j] = v }
+
+func (m *matrix) clone() *matrix {
+	c := newMatrix(m.rows, m.cols)
+	copy(c.a, m.a)
+	return c
+}
+
+// mul returns m * o.
+func (m *matrix) mul(o *matrix) *matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("quantize: matrix dims %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := newMatrix(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			v := m.at(i, k)
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				out.a[i*out.cols+j] += v * o.a[k*o.cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// transpose returns m^T.
+func (m *matrix) transpose() *matrix {
+	out := newMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.set(j, i, m.at(i, j))
+		}
+	}
+	return out
+}
+
+func identity(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvalues and the column-eigenvector matrix. It converges
+// quadratically; 100 sweeps is far beyond what 256x256 covariances need.
+func jacobiEigen(sym *matrix) (eigvals []float64, eigvecs *matrix) {
+	n := sym.rows
+	if sym.cols != n {
+		panic("quantize: jacobiEigen on non-square matrix")
+	}
+	a := sym.clone()
+	v := identity(n)
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.at(i, j) * a.at(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.at(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.at(p, p), a.at(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < n; i++ {
+					aip, aiq := a.at(i, p), a.at(i, q)
+					a.set(i, p, c*aip-s*aiq)
+					a.set(i, q, s*aip+c*aiq)
+				}
+				for j := 0; j < n; j++ {
+					apj, aqj := a.at(p, j), a.at(q, j)
+					a.set(p, j, c*apj-s*aqj)
+					a.set(q, j, s*apj+c*aqj)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.at(i, p), v.at(i, q)
+					v.set(i, p, c*vip-s*viq)
+					v.set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	eigvals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigvals[i] = a.at(i, i)
+	}
+	return eigvals, v
+}
+
+// svd computes the thin SVD of a square matrix M = U * diag(s) * W^T via the
+// eigendecomposition of M^T M (adequate for ITQ's well-conditioned bits x
+// bits Procrustes steps).
+func svd(m *matrix) (u *matrix, s []float64, w *matrix) {
+	mtm := m.transpose().mul(m)
+	eig, vecs := jacobiEigen(mtm)
+	n := m.rows
+	// Sort by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if eig[order[j]] > eig[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	w = newMatrix(n, n)
+	s = make([]float64, n)
+	for c, idx := range order {
+		ev := eig[idx]
+		if ev < 0 {
+			ev = 0
+		}
+		s[c] = math.Sqrt(ev)
+		for r := 0; r < n; r++ {
+			w.set(r, c, vecs.at(r, idx))
+		}
+	}
+	// U = M W S^-1 for well-conditioned directions, then every column is
+	// re-orthonormalized: numerically tiny singular values (rank-deficient
+	// M, common once ITQ's sign matrix develops correlated columns) would
+	// otherwise yield garbage columns and a non-orthogonal U.
+	mw := m.mul(w)
+	u = newMatrix(n, n)
+	sMax := s[0]
+	for c := 0; c < n; c++ {
+		if sMax > 0 && s[c] > 1e-9*sMax {
+			for r := 0; r < n; r++ {
+				u.set(r, c, mw.at(r, c)/s[c])
+			}
+		}
+		if orthonormalizeColumn(u, c) {
+			continue
+		}
+		// Degenerate direction: substitute standard basis vectors until one
+		// survives orthogonalization against the previous columns.
+		for e := 0; e < n; e++ {
+			for r := 0; r < n; r++ {
+				u.set(r, c, 0)
+			}
+			u.set(e, c, 1)
+			if orthonormalizeColumn(u, c) {
+				break
+			}
+		}
+	}
+	return u, s, w
+}
+
+// orthonormalizeColumn makes column c of m unit-length and orthogonal to
+// columns 0..c-1 (two Gram-Schmidt passes for numerical stability). It
+// reports false if the column is linearly dependent on its predecessors.
+func orthonormalizeColumn(m *matrix, c int) bool {
+	n := m.rows
+	for pass := 0; pass < 2; pass++ {
+		for prev := 0; prev < c; prev++ {
+			dot := 0.0
+			for r := 0; r < n; r++ {
+				dot += m.at(r, c) * m.at(r, prev)
+			}
+			for r := 0; r < n; r++ {
+				m.set(r, c, m.at(r, c)-dot*m.at(r, prev))
+			}
+		}
+	}
+	norm := 0.0
+	for r := 0; r < n; r++ {
+		norm += m.at(r, c) * m.at(r, c)
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-8 {
+		return false
+	}
+	for r := 0; r < n; r++ {
+		m.set(r, c, m.at(r, c)/norm)
+	}
+	return true
+}

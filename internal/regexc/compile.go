@@ -1,0 +1,387 @@
+package regexc
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+)
+
+// Options controls pattern compilation.
+type Options struct {
+	// Anchored pins the match to the start of the symbol stream (PCRE "^").
+	// Unanchored patterns may begin matching at any offset, the AP's natural
+	// behaviour for streams.
+	Anchored bool
+	// ReportID is the report code assigned to accepting states.
+	ReportID int32
+}
+
+// Compile translates a pattern into a homogeneous NFA on net using the
+// Glushkov construction and returns the IDs of its accepting (reporting)
+// states. The supported syntax is the PCRE subset of ParseClass plus
+// grouping "()", alternation "|", and the quantifiers "?", "*", "+" and
+// "{m,n}".
+//
+// Patterns that can match the empty string are rejected: a reporting state
+// must consume at least one symbol on the AP.
+func Compile(net *automata.Network, pattern string, opts Options) ([]automata.ElementID, error) {
+	ast, err := parsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	info := analyze(ast)
+	if info.nullable {
+		return nil, fmt.Errorf("regexc: pattern %q matches the empty string; the AP cannot report without consuming a symbol", pattern)
+	}
+	// One STE per position.
+	ids := make([]automata.ElementID, len(info.classes))
+	lastSet := make(map[int]bool, len(info.last))
+	for _, p := range info.last {
+		lastSet[p] = true
+	}
+	firstSet := make(map[int]bool, len(info.first))
+	for _, p := range info.first {
+		firstSet[p] = true
+	}
+	start := automata.StartAll
+	if opts.Anchored {
+		start = automata.StartOfData
+	}
+	for i, class := range info.classes {
+		var steOpts []automata.STEOpt
+		if firstSet[i] {
+			steOpts = append(steOpts, automata.WithStart(start))
+		}
+		if lastSet[i] {
+			steOpts = append(steOpts, automata.WithReport(opts.ReportID))
+		}
+		steOpts = append(steOpts, automata.WithName(fmt.Sprintf("p%d:%s", i, FormatClass(class))))
+		ids[i] = net.AddSTE(class, steOpts...)
+	}
+	for from, tos := range info.follow {
+		for to := range tos {
+			net.Connect(ids[from], ids[to])
+		}
+	}
+	var accepting []automata.ElementID
+	for _, p := range info.last {
+		accepting = append(accepting, ids[p])
+	}
+	return accepting, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(net *automata.Network, pattern string, opts Options) []automata.ElementID {
+	ids, err := Compile(net, pattern, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ids
+}
+
+// ---- AST ----
+
+type nodeKind uint8
+
+const (
+	nodeClass nodeKind = iota
+	nodeConcat
+	nodeAlt
+	nodeStar // zero or more
+	nodePlus // one or more
+	nodeOpt  // zero or one
+)
+
+type node struct {
+	kind  nodeKind
+	class automata.SymbolClass // nodeClass
+	subs  []*node
+}
+
+// parsePattern is a recursive-descent parser over the pattern grammar:
+//
+//	alt    = concat ('|' concat)*
+//	concat = repeat+
+//	repeat = atom ('*' | '+' | '?' | '{m,n}')*
+//	atom   = class | '(' alt ')'
+type patternParser struct {
+	in  string
+	pos int
+}
+
+func parsePattern(pattern string) (*node, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("regexc: empty pattern")
+	}
+	p := &patternParser{in: pattern}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("regexc: unexpected %q at offset %d in %q", p.in[p.pos], p.pos, p.in)
+	}
+	return n, nil
+}
+
+func (p *patternParser) alt() (*node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*node{first}
+	for p.pos < len(p.in) && p.in[p.pos] == '|' {
+		p.pos++
+		nxt, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, nxt)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &node{kind: nodeAlt, subs: subs}, nil
+}
+
+func (p *patternParser) concat() (*node, error) {
+	var subs []*node
+	for p.pos < len(p.in) && p.in[p.pos] != '|' && p.in[p.pos] != ')' {
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("regexc: empty branch at offset %d in %q", p.pos, p.in)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &node{kind: nodeConcat, subs: subs}, nil
+}
+
+func (p *patternParser) repeat() (*node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case '*':
+			p.pos++
+			n = &node{kind: nodeStar, subs: []*node{n}}
+		case '+':
+			p.pos++
+			n = &node{kind: nodePlus, subs: []*node{n}}
+		case '?':
+			p.pos++
+			n = &node{kind: nodeOpt, subs: []*node{n}}
+		case '{':
+			rep, err := p.bounds()
+			if err != nil {
+				return nil, err
+			}
+			n = expandBounds(n, rep[0], rep[1])
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// bounds parses "{m}", "{m,}" or "{m,n}" and returns [m, n] with n = -1 for
+// unbounded.
+func (p *patternParser) bounds() ([2]int, error) {
+	start := p.pos
+	p.pos++ // '{'
+	m, ok := p.number()
+	if !ok {
+		return [2]int{}, fmt.Errorf("regexc: bad repetition at offset %d in %q", start, p.in)
+	}
+	n := m
+	if p.pos < len(p.in) && p.in[p.pos] == ',' {
+		p.pos++
+		if p.pos < len(p.in) && p.in[p.pos] == '}' {
+			n = -1
+		} else {
+			n, ok = p.number()
+			if !ok {
+				return [2]int{}, fmt.Errorf("regexc: bad repetition upper bound in %q", p.in)
+			}
+		}
+	}
+	if p.pos >= len(p.in) || p.in[p.pos] != '}' {
+		return [2]int{}, fmt.Errorf("regexc: unterminated repetition in %q", p.in)
+	}
+	p.pos++
+	if n != -1 && n < m {
+		return [2]int{}, fmt.Errorf("regexc: repetition {%d,%d} has upper < lower in %q", m, n, p.in)
+	}
+	return [2]int{m, n}, nil
+}
+
+func (p *patternParser) number() (int, bool) {
+	start := p.pos
+	v := 0
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		v = v*10 + int(p.in[p.pos]-'0')
+		p.pos++
+	}
+	return v, p.pos > start
+}
+
+// expandBounds rewrites n{m,k} into concatenations and optionals; k = -1
+// means unbounded (suffix star).
+func expandBounds(n *node, m, k int) *node {
+	var subs []*node
+	for i := 0; i < m; i++ {
+		subs = append(subs, n)
+	}
+	switch {
+	case k == -1:
+		subs = append(subs, &node{kind: nodeStar, subs: []*node{n}})
+	default:
+		for i := m; i < k; i++ {
+			subs = append(subs, &node{kind: nodeOpt, subs: []*node{n}})
+		}
+	}
+	if len(subs) == 0 {
+		// {0,0}: matches only empty string; represent as Opt of nothing —
+		// caller rejects nullable patterns, so return an optional atom.
+		return &node{kind: nodeOpt, subs: []*node{n}}
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &node{kind: nodeConcat, subs: subs}
+}
+
+func (p *patternParser) atom() (*node, error) {
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("regexc: unexpected end of pattern %q", p.in)
+	}
+	switch p.in[p.pos] {
+	case '(':
+		p.pos++
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, fmt.Errorf("regexc: unbalanced parenthesis in %q", p.in)
+		}
+		p.pos++
+		return inner, nil
+	case ')', '|', '*', '+', '?', '{':
+		return nil, fmt.Errorf("regexc: unexpected %q at offset %d in %q", p.in[p.pos], p.pos, p.in)
+	default:
+		cp := &classParser{in: p.in, pos: p.pos}
+		c, err := cp.parseTop()
+		if err != nil {
+			return nil, err
+		}
+		p.pos = cp.pos
+		return &node{kind: nodeClass, class: c}, nil
+	}
+}
+
+// ---- Glushkov analysis ----
+
+type glushkov struct {
+	classes  []automata.SymbolClass
+	nullable bool
+	first    []int
+	last     []int
+	follow   []map[int]bool
+}
+
+type nodeInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+// analyze computes the Glushkov sets of the AST: positions (one per class
+// occurrence), nullability, first/last position sets, and the follow
+// relation. The resulting automaton has one state per position.
+func analyze(root *node) *glushkov {
+	g := &glushkov{}
+	var walk func(n *node) nodeInfo
+	walk = func(n *node) nodeInfo {
+		switch n.kind {
+		case nodeClass:
+			pos := len(g.classes)
+			g.classes = append(g.classes, n.class)
+			g.follow = append(g.follow, map[int]bool{})
+			return nodeInfo{first: []int{pos}, last: []int{pos}}
+		case nodeAlt:
+			var out nodeInfo
+			for _, s := range n.subs {
+				si := walk(s)
+				out.nullable = out.nullable || si.nullable
+				out.first = append(out.first, si.first...)
+				out.last = append(out.last, si.last...)
+			}
+			return out
+		case nodeConcat:
+			infos := make([]nodeInfo, len(n.subs))
+			for i, s := range n.subs {
+				infos[i] = walk(s)
+			}
+			// follow: last(i) -> first(i+1), transitively across nullables.
+			for i := 0; i < len(infos)-1; i++ {
+				for j := i + 1; j < len(infos); j++ {
+					for _, l := range infos[i].last {
+						for _, f := range infos[j].first {
+							g.follow[l][f] = true
+						}
+					}
+					if !infos[j].nullable {
+						break
+					}
+				}
+			}
+			out := nodeInfo{nullable: true}
+			for _, si := range infos {
+				out.nullable = out.nullable && si.nullable
+			}
+			for i := 0; i < len(infos); i++ {
+				out.first = append(out.first, infos[i].first...)
+				if !infos[i].nullable {
+					break
+				}
+			}
+			for i := len(infos) - 1; i >= 0; i-- {
+				out.last = append(out.last, infos[i].last...)
+				if !infos[i].nullable {
+					break
+				}
+			}
+			return out
+		case nodeStar, nodePlus:
+			si := walk(n.subs[0])
+			for _, l := range si.last {
+				for _, f := range si.first {
+					g.follow[l][f] = true
+				}
+			}
+			return nodeInfo{
+				nullable: n.kind == nodeStar || si.nullable,
+				first:    si.first,
+				last:     si.last,
+			}
+		case nodeOpt:
+			si := walk(n.subs[0])
+			return nodeInfo{nullable: true, first: si.first, last: si.last}
+		default:
+			panic(fmt.Sprintf("regexc: unknown node kind %d", n.kind))
+		}
+	}
+	rootInfo := walk(root)
+	g.nullable = rootInfo.nullable
+	g.first = rootInfo.first
+	g.last = rootInfo.last
+	return g
+}

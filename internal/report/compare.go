@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Comparison records one paper-reported value next to our reproduction, so
+// EXPERIMENTS.md and the apbench output carry an explicit fidelity audit.
+type Comparison struct {
+	Label      string
+	Paper      float64
+	Reproduced float64
+	Unit       string
+}
+
+// Ratio returns Reproduced/Paper, or NaN if the paper value is zero.
+func (c Comparison) Ratio() float64 {
+	if c.Paper == 0 {
+		return math.NaN()
+	}
+	return c.Reproduced / c.Paper
+}
+
+// WithinFactor reports whether the reproduction is within a multiplicative
+// factor f (>= 1) of the paper value in either direction.
+func (c Comparison) WithinFactor(f float64) bool {
+	r := c.Ratio()
+	if math.IsNaN(r) || r <= 0 {
+		return c.Paper == c.Reproduced
+	}
+	return r <= f && r >= 1/f
+}
+
+// ComparisonSet is a named collection of comparisons for one experiment.
+type ComparisonSet struct {
+	Name  string
+	Items []Comparison
+}
+
+// Add appends a comparison.
+func (cs *ComparisonSet) Add(label string, paper, reproduced float64, unit string) {
+	cs.Items = append(cs.Items, Comparison{Label: label, Paper: paper, Reproduced: reproduced, Unit: unit})
+}
+
+// Render prints the set as an aligned table with ratios.
+func (cs *ComparisonSet) Render(w io.Writer) {
+	t := NewTable(cs.Name, "metric", "paper", "reproduced", "ratio")
+	t.AlignLeft(0)
+	for _, c := range cs.Items {
+		ratio := "n/a"
+		if r := c.Ratio(); !math.IsNaN(r) {
+			ratio = fmt.Sprintf("%.2fx", r)
+		}
+		unit := c.Unit
+		if unit != "" {
+			unit = " " + unit
+		}
+		t.Row(c.Label, FormatFloat(c.Paper)+unit, FormatFloat(c.Reproduced)+unit, ratio)
+	}
+	t.Render(w)
+}
+
+// MaxDeviation returns the largest |log-ratio| factor across items, a single
+// fidelity score for the whole set (1.0 = exact).
+func (cs *ComparisonSet) MaxDeviation() float64 {
+	worst := 1.0
+	for _, c := range cs.Items {
+		r := c.Ratio()
+		if math.IsNaN(r) || r <= 0 {
+			continue
+		}
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 123456.0)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{48.10, "48.10"},
+		{1.97, "1.97"},
+		{0.039, "0.039"},
+		{110445, "110445"},
+		{593.89, "593.9"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestComparisonRatio(t *testing.T) {
+	c := Comparison{Paper: 2, Reproduced: 4}
+	if r := c.Ratio(); r != 2 {
+		t.Errorf("Ratio = %v, want 2", r)
+	}
+	zero := Comparison{Paper: 0, Reproduced: 1}
+	if !math.IsNaN(zero.Ratio()) {
+		t.Error("Ratio with zero paper value should be NaN")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	c := Comparison{Paper: 10, Reproduced: 18}
+	if !c.WithinFactor(2) {
+		t.Error("1.8x should be within factor 2")
+	}
+	if c.WithinFactor(1.5) {
+		t.Error("1.8x should not be within factor 1.5")
+	}
+	inv := Comparison{Paper: 10, Reproduced: 6}
+	if !inv.WithinFactor(2) {
+		t.Error("0.6x should be within factor 2")
+	}
+}
+
+func TestComparisonSet(t *testing.T) {
+	var cs ComparisonSet
+	cs.Name = "Table X"
+	cs.Add("a", 1, 1.2, "ms")
+	cs.Add("b", 10, 5, "ms")
+	if dev := cs.MaxDeviation(); math.Abs(dev-2) > 1e-9 {
+		t.Errorf("MaxDeviation = %v, want 2", dev)
+	}
+	var sb strings.Builder
+	cs.Render(&sb)
+	if !strings.Contains(sb.String(), "1.20x") {
+		t.Errorf("render missing ratio:\n%s", sb.String())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "label", "num")
+	tb.Row("x", "9")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	// numeric column is right-aligned under a 3-char header "num"
+	if !strings.HasSuffix(last, "  9") {
+		t.Errorf("numeric column not right-aligned: %q", last)
+	}
+}

@@ -1,0 +1,135 @@
+// Package report renders the aligned text tables and paper-vs-reproduced
+// comparisons the benchmark harness prints. Keeping formatting in one place
+// makes every table in cmd/apbench look like the tables in the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligned []bool // true = right-align (numeric) column
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, header: header, aligned: make([]bool, len(header))}
+	for i := range t.aligned {
+		t.aligned[i] = i > 0 // first column is labels by convention
+	}
+	return t
+}
+
+// AlignLeft marks column i as left-aligned.
+func (t *Table) AlignLeft(i int) *Table {
+	t.aligned[i] = false
+	return t
+}
+
+// Row appends a row; cells are stringified with %v, floats compactly.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return FormatFloat(v)
+	case float32:
+		return FormatFloat(float64(v))
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// FormatFloat renders a float with precision adapted to its magnitude, the
+// way the paper's tables mix "0.039" and "48.10".
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 10000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case av >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case av >= 1:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	case av >= 0.01:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(t.aligned) && t.aligned[i] {
+				parts[i] = pad(cell, widths[i], true)
+			} else {
+				parts[i] = pad(cell, widths[i], false)
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int, right bool) string {
+	if len(s) >= w {
+		return s
+	}
+	fill := strings.Repeat(" ", w-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

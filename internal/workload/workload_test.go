@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTable2Parameters(t *testing.T) {
+	// Table II exactly.
+	cases := []struct {
+		p   Params
+		dim int
+		k   int
+	}{
+		{WordEmbed(), 64, 2},
+		{SIFT(), 128, 4},
+		{TagSpace(), 256, 16},
+	}
+	for _, c := range cases {
+		if c.p.Dim != c.dim || c.p.K != c.k {
+			t.Errorf("%s: dim/k = %d/%d, want %d/%d", c.p.Name, c.p.Dim, c.p.K, c.dim, c.k)
+		}
+		if c.p.Queries != 4096 {
+			t.Errorf("%s: queries = %d, want 4096 (§IV-A)", c.p.Name, c.p.Queries)
+		}
+		if c.p.LargeN != 1<<20 {
+			t.Errorf("%s: largeN = %d, want 2^20", c.p.Name, c.p.LargeN)
+		}
+	}
+	// §V-B small datasets: 1024, 1024, 512.
+	if WordEmbed().SmallN != 1024 || SIFT().SmallN != 1024 || TagSpace().SmallN != 512 {
+		t.Error("small dataset sizes do not match §V-B")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("SIFT")
+	if err != nil || p.Dim != 128 {
+		t.Errorf("ByName(SIFT) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestClusteredStructure(t *testing.T) {
+	rng := stats.NewRNG(9)
+	const centers, per, dim, radius = 4, 25, 64, 3
+	ds := Clustered(rng, centers, per, dim, radius)
+	if ds.Len() != centers*per {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	// Same-cluster distances bounded by 2*radius; cross-cluster typically
+	// near dim/2.
+	intra := ds.At(0).Hamming(ds.At(1))
+	if intra > 2*radius {
+		t.Errorf("intra-cluster distance %d > %d", intra, 2*radius)
+	}
+	inter := ds.At(0).Hamming(ds.At(per))
+	if inter <= 2*radius {
+		t.Errorf("inter-cluster distance %d suspiciously small", inter)
+	}
+}
+
+func TestPlantedQueriesNearDataset(t *testing.T) {
+	rng := stats.NewRNG(10)
+	ds := Uniform(rng, 50, 48)
+	qs := PlantedQueries(rng, ds, 20, 2)
+	for i, q := range qs {
+		best := ds.Dim()
+		for j := 0; j < ds.Len(); j++ {
+			if d := ds.Hamming(j, q); d < best {
+				best = d
+			}
+		}
+		if best > 2 {
+			t.Errorf("query %d: nearest neighbor at distance %d, want <= 2", i, best)
+		}
+	}
+}
+
+func TestGaussianFeaturesShape(t *testing.T) {
+	rng := stats.NewRNG(11)
+	data, labels := GaussianFeatures(rng, 3, 10, 16, 1.0)
+	if len(data) != 30 || len(labels) != 30 {
+		t.Fatalf("sizes %d/%d", len(data), len(labels))
+	}
+	for _, v := range data {
+		if len(v) != 16 {
+			t.Fatalf("feature dim %d", len(v))
+		}
+	}
+	if labels[0] != 0 || labels[29] != 2 {
+		t.Errorf("labels %v...", labels[:3])
+	}
+}
+
+func TestQueriesCount(t *testing.T) {
+	qs := Queries(stats.NewRNG(2), 7, 32)
+	if len(qs) != 7 || qs[0].Dim() != 32 {
+		t.Errorf("Queries shape wrong")
+	}
+}
