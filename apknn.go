@@ -22,9 +22,9 @@ import (
 
 	"repro/internal/ap"
 	"repro/internal/bitvec"
-	"repro/internal/core"
 	"repro/internal/knn"
 	"repro/internal/quantize"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -59,17 +59,26 @@ type Options struct {
 	// identical results without cycle-accurate simulation. Use it for large
 	// datasets; the default simulator engine exercises the real automata.
 	Exact bool
+	// Boards shards the dataset across this many simulated boards (default
+	// 1). Each board owns a disjoint slice of the dataset, all boards
+	// stream every query batch concurrently, and the host merges their
+	// top-k lists — so results are identical to a single board while the
+	// modeled time becomes the maximum across boards instead of the sum
+	// over the configuration sweep.
+	Boards int
+	// Workers bounds how many boards stream concurrently (default: one
+	// worker per board).
+	Workers int
 }
 
+// BatchResult is one completed batch of an asynchronous QueryBatch call.
+type BatchResult = shard.BatchResult
+
 // Searcher answers kNN queries against a fixed dataset using the paper's
-// automata design.
+// automata design. It is safe for concurrent use.
 type Searcher struct {
-	engine interface {
-		Query(queries []Vector, k int) ([][]Neighbor, error)
-		Partitions() int
-	}
-	board *ap.Board
-	dim   int
+	engine *shard.Engine
+	dim    int
 }
 
 // NewSearcher builds the kNN automata for ds and precompiles its board
@@ -79,23 +88,17 @@ func NewSearcher(ds *Dataset, opts Options) (*Searcher, error) {
 	if opts.Generation == Gen1 {
 		cfg = ap.Gen1()
 	}
-	engOpts := core.EngineOptions{Capacity: opts.Capacity}
-	s := &Searcher{dim: ds.Dim()}
-	if opts.Exact {
-		eng, err := core.NewFastEngine(ds, engOpts)
-		if err != nil {
-			return nil, err
-		}
-		s.engine = eng
-		return s, nil
-	}
-	s.board = ap.NewBoard(cfg)
-	eng, err := core.NewEngine(s.board, ds, engOpts)
+	eng, err := shard.New(ds, shard.Options{
+		Boards:   opts.Boards,
+		Workers:  opts.Workers,
+		Capacity: opts.Capacity,
+		Fast:     opts.Exact,
+		Config:   cfg,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.engine = eng
-	return s, nil
+	return &Searcher{engine: eng, dim: ds.Dim()}, nil
 }
 
 // Query returns the k nearest neighbors of each query, (distance, ID)-sorted
@@ -104,16 +107,27 @@ func (s *Searcher) Query(queries []Vector, k int) ([][]Neighbor, error) {
 	return s.engine.Query(queries, k)
 }
 
+// QueryBatch answers many query batches asynchronously, pipelining query
+// encoding against board streaming and report decoding. Results arrive on
+// the returned channel in submission order; the channel closes after the
+// last batch. Multiple goroutines may call QueryBatch (and Query)
+// concurrently on one Searcher.
+func (s *Searcher) QueryBatch(batches [][]Vector, k int) <-chan BatchResult {
+	return s.engine.QueryBatch(batches, k)
+}
+
 // Partitions reports how many board configurations the dataset spans.
 func (s *Searcher) Partitions() int { return s.engine.Partitions() }
 
-// ModeledTime returns the accumulated AP wall-clock estimate (streaming at
-// 133 MHz plus partial reconfigurations); zero for the exact engine.
+// Boards reports how many boards the dataset is sharded across.
+func (s *Searcher) Boards() int { return s.engine.Shards() }
+
+// ModeledTime returns the modeled AP wall-clock estimate (streaming at
+// 133 MHz plus partial reconfigurations), taken as the maximum across
+// boards since they stream concurrently. The exact engine charges the same
+// analytic model.
 func (s *Searcher) ModeledTime() time.Duration {
-	if s.board == nil {
-		return 0
-	}
-	return s.board.ModeledTime()
+	return s.engine.ModeledTime()
 }
 
 // ExactSearch is the CPU reference: an exact multi-threaded linear scan.

@@ -338,6 +338,55 @@ func BenchmarkApproxEngine(b *testing.B) {
 	}
 }
 
+// ---- Sharded multi-board engine ----
+
+// BenchmarkShardedFastEngine measures the wall-clock scaling of the sharded
+// fast engine at n=100k, d=128: one board is the serial configuration
+// sweep; 4 and 8 boards scan their dataset slices concurrently. On a
+// machine with >= 4 cores the 4-board run is expected to be >= 2x faster
+// than 1 board (see internal/shard for the modeled-time scaling, which is
+// machine-independent).
+func BenchmarkShardedFastEngine(b *testing.B) {
+	ds := apknn.RandomDataset(30, 100_000, 128)
+	queries := apknn.RandomQueries(31, 16, 128)
+	for _, boards := range []int{1, 2, 4, 8} {
+		b.Run("Boards"+itoa(boards), func(b *testing.B) {
+			s, err := apknn.NewSearcher(ds, apknn.Options{Exact: true, Boards: boards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(queries, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQueryBatch measures the asynchronous pipelined path: 8
+// batches of 8 queries flowing through encode -> stream -> decode/merge.
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	ds := apknn.RandomDataset(32, 100_000, 128)
+	batches := make([][]apknn.Vector, 8)
+	for i := range batches {
+		batches[i] = apknn.RandomQueries(uint64(33+i), 8, 128)
+	}
+	s, err := apknn.NewSearcher(ds, apknn.Options{Exact: true, Boards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for res := range s.QueryBatch(batches, 10) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
 // ---- Ablations and substrate micro-benchmarks ----
 
 // BenchmarkSortAblation compares the three host-side top-k strategies the

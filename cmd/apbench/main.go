@@ -2,7 +2,7 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard)
 //	apbench -all              # everything
 package main
 
@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/ap"
 	"repro/internal/automata"
@@ -17,13 +18,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	flag.Parse()
@@ -32,7 +34,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard"} {
 			runExperiment(e)
 		}
 		return
@@ -151,6 +153,8 @@ func runExperiment(name string) {
 		packingExperiment()
 	case "mux":
 		muxExperiment()
+	case "shard":
+		shardExperiment()
 	default:
 		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
 		os.Exit(2)
@@ -186,6 +190,45 @@ func packingExperiment() {
 		tb.Row(dim, plain.STEs, packed.STEs,
 			fmt.Sprintf("%.2fx", core.PackingSavings(l, 8)),
 			plain.RoutingPressure, packed.RoutingPressure)
+	}
+	tb.Render(os.Stdout)
+}
+
+// shardExperiment sweeps board counts on the sharded multi-board engine:
+// the same 64k-vector dataset and query batch answered by 1..8 boards,
+// reporting the modeled query time (max across boards), its speedup over
+// one board, and the host wall-clock of the parallel scan.
+func shardExperiment() {
+	const n, dim, nq, k = 1 << 16, 64, 32, 8
+	rng := stats.NewRNG(99)
+	ds := bitvec.RandomDataset(rng, n, dim)
+	queries := workload.Queries(rng, nq, dim)
+
+	tb := report.NewTable(
+		fmt.Sprintf("Sharded multi-board scaling (n=%d, d=%d, %d queries, k=%d, Gen 2)", n, dim, nq, k),
+		"boards", "configs/board", "modeled time", "modeled speedup", "host wall-clock")
+	var serial time.Duration
+	for _, boards := range []int{1, 2, 4, 8} {
+		eng, err := shard.New(ds, shard.Options{Boards: boards, Fast: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if _, err := eng.Query(queries, k); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		modeled := eng.ModeledTime()
+		if boards == 1 {
+			serial = modeled
+		}
+		tb.Row(eng.Shards(),
+			fmt.Sprintf("%.1f", float64(eng.Partitions())/float64(eng.Shards())),
+			modeled,
+			fmt.Sprintf("%.2fx", float64(serial)/float64(modeled)),
+			wall.Round(time.Microsecond))
 	}
 	tb.Render(os.Stdout)
 }

@@ -22,13 +22,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	exact := flag.Bool("fast", false, "use the semantics-equivalent fast engine instead of cycle-accurate simulation")
 	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
+	boards := flag.Int("boards", 1, "shard the dataset across this many boards")
+	workers := flag.Int("workers", 0, "concurrent board workers (0 = one per board)")
 	verbose := flag.Bool("v", false, "print each query's neighbors")
 	flag.Parse()
 
 	ds := apknn.RandomDataset(*seed, *n, *dim)
 	queries := apknn.RandomQueries(*seed+1, *q, *dim)
 
-	opts := apknn.Options{Exact: *exact, Capacity: *capacity}
+	opts := apknn.Options{Exact: *exact, Capacity: *capacity, Boards: *boards, Workers: *workers}
 	if *gen == 1 {
 		opts.Generation = apknn.Gen1
 	}
@@ -37,8 +39,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apknn:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset: %d vectors x %d bits, %d board configuration(s) on %s\n",
-		*n, *dim, searcher.Partitions(), opts.Generation)
+	fmt.Printf("dataset: %d vectors x %d bits, %d board configuration(s) across %d board(s) on %s\n",
+		*n, *dim, searcher.Partitions(), searcher.Boards(), opts.Generation)
 
 	results, err := searcher.Query(queries, *k)
 	if err != nil {

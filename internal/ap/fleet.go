@@ -1,0 +1,80 @@
+package ap
+
+import "time"
+
+// Fleet is a set of identically configured boards operated in parallel by a
+// data-parallel host driver: each board owns a disjoint dataset partition
+// and all boards stream the same query batch simultaneously. The modeled
+// wall-clock of the fleet is therefore the maximum across its boards — the
+// whole point of scaling out — while throughput-style counters (symbols,
+// reports, reconfigurations) aggregate as totals.
+type Fleet struct {
+	cfg    DeviceConfig
+	boards []*Board
+}
+
+// NewFleet returns a fleet of n unconfigured boards sharing cfg.
+func NewFleet(cfg DeviceConfig, n int) *Fleet {
+	f := &Fleet{cfg: cfg, boards: make([]*Board, n)}
+	for i := range f.boards {
+		f.boards[i] = NewBoard(cfg)
+	}
+	return f
+}
+
+// Config returns the shared device configuration.
+func (f *Fleet) Config() DeviceConfig { return f.cfg }
+
+// Len returns the number of boards.
+func (f *Fleet) Len() int { return len(f.boards) }
+
+// Board returns board i.
+func (f *Fleet) Board(i int) *Board { return f.boards[i] }
+
+// ModeledTime returns the modeled wall-clock of the fleet: the maximum of
+// the per-board estimates, since the boards stream concurrently.
+func (f *Fleet) ModeledTime() time.Duration {
+	var max time.Duration
+	for _, b := range f.boards {
+		if t := b.ModeledTime(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// SymbolsStreamed returns the total symbols streamed across all boards.
+func (f *Fleet) SymbolsStreamed() int {
+	n := 0
+	for _, b := range f.boards {
+		n += b.SymbolsStreamed()
+	}
+	return n
+}
+
+// Reconfigs returns the total configurations loaded across all boards.
+func (f *Fleet) Reconfigs() int {
+	n := 0
+	for _, b := range f.boards {
+		n += b.Reconfigs()
+	}
+	return n
+}
+
+// ReportsEmitted returns the total report records across all boards.
+func (f *Fleet) ReportsEmitted() int {
+	n := 0
+	for _, b := range f.boards {
+		n += b.ReportsEmitted()
+	}
+	return n
+}
+
+// ReportBandwidthBits returns the total §VI-C report traffic across boards.
+func (f *Fleet) ReportBandwidthBits() int {
+	n := 0
+	for _, b := range f.boards {
+		n += b.ReportBandwidthBits()
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package bitvec_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// FuzzParseBits checks the parsing boundary: arbitrary strings either parse
+// into a vector that round-trips exactly through String, or return an error
+// — never a panic, never silent truncation.
+func FuzzParseBits(f *testing.F) {
+	for _, seed := range []string{"1011", "0", "1 0 1 1", "", " ", "10x1", "1111111111111111111111111111111111111111111111111111111111111111110"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := bitvec.ParseBits(s)
+		clean := strings.ReplaceAll(s, " ", "")
+		if err != nil {
+			// Errors are reserved for genuinely malformed input: empty after
+			// space-stripping, or a non-bit rune.
+			if clean != "" && strings.Trim(clean, "01") == "" {
+				t.Fatalf("ParseBits(%q) rejected well-formed input: %v", s, err)
+			}
+			return
+		}
+		if strings.Trim(clean, "01") != "" || clean == "" {
+			t.Fatalf("ParseBits(%q) accepted malformed input", s)
+		}
+		if v.Dim() != len(clean) {
+			t.Fatalf("ParseBits(%q): dim %d, want %d", s, v.Dim(), len(clean))
+		}
+		for i := 0; i < v.Dim(); i++ {
+			if v.Bit(i) != (clean[i] == '1') {
+				t.Fatalf("ParseBits(%q): bit %d = %v", s, i, v.Bit(i))
+			}
+		}
+		// Round-trip: String renders the same bits (grouped with spaces).
+		back, err := bitvec.ParseBits(v.String())
+		if err != nil {
+			t.Fatalf("round-trip ParseBits(String) failed: %v", err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round-trip mismatch: %v vs %v", back, v)
+		}
+	})
+}

@@ -29,11 +29,8 @@ type ApproxEngine struct {
 // groupSize is the paper's p (16 in Table VI); kPrime the local suppression
 // threshold.
 func NewApproxEngine(board *ap.Board, ds *bitvec.Dataset, opts EngineOptions, groupSize, kPrime int) (*ApproxEngine, error) {
-	layout := NewLayout(ds.Dim())
-	if opts.Layout != nil {
-		layout = *opts.Layout
-	}
-	if err := layout.Validate(); err != nil {
+	layout, err := ResolveLayout(ds.Dim(), opts.Layout)
+	if err != nil {
 		return nil, err
 	}
 	if groupSize <= 1 {
@@ -42,43 +39,32 @@ func NewApproxEngine(board *ap.Board, ds *bitvec.Dataset, opts EngineOptions, gr
 	if kPrime <= 0 {
 		return nil, fmt.Errorf("core: kPrime %d must be positive", kPrime)
 	}
-	capacity := opts.Capacity
-	if capacity == 0 {
-		capacity = DefaultBoardCapacity(ds.Dim())
+	capacity, err := ResolveCapacity(ds.Dim(), opts.Capacity)
+	if err != nil {
+		return nil, err
 	}
 	e := &ApproxEngine{
 		board: board, layout: layout, capacity: capacity,
 		groupSize: groupSize, kPrime: kPrime, datasetLen: ds.Len(),
 	}
-	for lo := 0; lo < ds.Len(); lo += capacity {
-		hi := lo + capacity
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		net := automata.NewNetwork()
-		for glo := lo; glo < hi; glo += groupSize {
-			ghi := glo + groupSize
-			if ghi > hi {
-				ghi = hi
+	e.partitions, err = compilePartitions(board.Config(), ds, capacity, "reduction",
+		func(net *automata.Network, part *bitvec.Dataset) {
+			for glo := 0; glo < part.Len(); glo += groupSize {
+				ghi := glo + groupSize
+				if ghi > part.Len() {
+					ghi = part.Len()
+				}
+				if ghi-glo < 2 {
+					// A trailing singleton group gets a plain macro: suppression
+					// over one vector is meaningless.
+					BuildMacro(net, part.At(glo), layout, int32(glo))
+					continue
+				}
+				BuildReductionGroup(net, part.Slice(glo, ghi), layout, kPrime, int32(glo))
 			}
-			if ghi-glo < 2 {
-				// A trailing singleton group gets a plain macro: suppression
-				// over one vector is meaningless.
-				BuildMacro(net, ds.At(glo), e.layout, int32(glo-lo))
-				continue
-			}
-			BuildReductionGroup(net, ds.Slice(glo, ghi), e.layout, kPrime, int32(glo-lo))
-		}
-		if err := net.Validate(); err != nil {
-			return nil, fmt.Errorf("core: reduction partition [%d,%d): %w", lo, hi, err)
-		}
-		placement, err := ap.Compile(net, board.Config())
-		if err != nil {
-			return nil, fmt.Errorf("core: reduction partition [%d,%d): %w", lo, hi, err)
-		}
-		e.partitions = append(e.partitions, partition{
-			net: net, placement: placement, idOffset: lo, size: hi - lo,
 		})
+	if err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -94,25 +80,16 @@ func (e *ApproxEngine) KPrime() int { return e.kPrime }
 // each query's true top-k survives suppression (Table VI measures how often
 // that fails).
 func (e *ApproxEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	batch, err := EncodeBatch(queries, e.layout)
+	if err != nil {
+		return nil, err
 	}
-	results := make([][]knn.Neighbor, len(queries))
-	stream := BuildStream(queries, e.layout)
-	for _, p := range e.partitions {
-		if err := e.board.ConfigurePlaced(p.net, p.placement); err != nil {
-			return nil, err
-		}
-		reports := e.board.Stream(stream)
-		decoded, err := DecodeReports(reports, e.layout, len(queries), p.idOffset)
-		if err != nil {
-			return nil, err
-		}
-		for qi := range queries {
-			results[qi] = knn.MergeTopK(results[qi], TopK(decoded[qi], k), k)
-		}
-	}
-	return results, nil
+	return e.QueryEncoded(batch, k)
+}
+
+// QueryEncoded answers a pre-encoded batch (see Engine.QueryEncoded).
+func (e *ApproxEngine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+	return queryPartitions(e.board, e.partitions, e.layout, batch, k)
 }
 
 // ReportsDelivered returns how many report records the board has emitted so

@@ -20,6 +20,9 @@ import (
 func DecodeReports(reports []automata.Report, l Layout, numQueries, idOffset int) ([][]knn.Neighbor, error) {
 	out := make([][]knn.Neighbor, numQueries)
 	for _, r := range reports {
+		if r.Cycle < 0 {
+			return nil, fmt.Errorf("core: report at negative cycle %d", r.Cycle)
+		}
 		q, off := l.WindowOf(r.Cycle)
 		if q >= numQueries {
 			return nil, fmt.Errorf("core: report at cycle %d beyond the %d-query stream", r.Cycle, numQueries)

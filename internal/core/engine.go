@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/ap"
 	"repro/internal/automata"
 	"repro/internal/bitvec"
@@ -53,38 +51,21 @@ type Engine struct {
 // NewEngine partitions ds into board images, builds the kNN automata for
 // each, and precompiles their placements.
 func NewEngine(board *ap.Board, ds *bitvec.Dataset, opts EngineOptions) (*Engine, error) {
-	layout := NewLayout(ds.Dim())
-	if opts.Layout != nil {
-		layout = *opts.Layout
-	}
-	if err := layout.Validate(); err != nil {
+	layout, err := ResolveLayout(ds.Dim(), opts.Layout)
+	if err != nil {
 		return nil, err
 	}
-	capacity := opts.Capacity
-	if capacity == 0 {
-		capacity = DefaultBoardCapacity(ds.Dim())
-	}
-	if capacity <= 0 {
-		return nil, fmt.Errorf("core: non-positive board capacity %d", capacity)
+	capacity, err := ResolveCapacity(ds.Dim(), opts.Capacity)
+	if err != nil {
+		return nil, err
 	}
 	e := &Engine{board: board, layout: layout, capacity: capacity, datasetLen: ds.Len()}
-	for lo := 0; lo < ds.Len(); lo += capacity {
-		hi := lo + capacity
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		net := automata.NewNetwork()
-		BuildLinear(net, ds.Slice(lo, hi), layout)
-		if err := net.Validate(); err != nil {
-			return nil, fmt.Errorf("core: partition [%d,%d): %w", lo, hi, err)
-		}
-		placement, err := ap.Compile(net, board.Config())
-		if err != nil {
-			return nil, fmt.Errorf("core: partition [%d,%d): %w", lo, hi, err)
-		}
-		e.partitions = append(e.partitions, partition{
-			net: net, placement: placement, idOffset: lo, size: hi - lo,
+	e.partitions, err = compilePartitions(board.Config(), ds, capacity, "linear",
+		func(net *automata.Network, part *bitvec.Dataset) {
+			BuildLinear(net, part, layout)
 		})
+	if err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -102,28 +83,15 @@ func (e *Engine) Board() *ap.Board { return e.board }
 // reconfiguring the board once per dataset partition and merging results on
 // the host. Results are (distance, ID)-sorted.
 func (e *Engine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	batch, err := EncodeBatch(queries, e.layout)
+	if err != nil {
+		return nil, err
 	}
-	for i, q := range queries {
-		if q.Dim() != e.layout.Dim {
-			return nil, fmt.Errorf("core: query %d has dim %d, want %d", i, q.Dim(), e.layout.Dim)
-		}
-	}
-	results := make([][]knn.Neighbor, len(queries))
-	stream := BuildStream(queries, e.layout)
-	for _, p := range e.partitions {
-		if err := e.board.ConfigurePlaced(p.net, p.placement); err != nil {
-			return nil, err
-		}
-		reports := e.board.Stream(stream)
-		decoded, err := DecodeReports(reports, e.layout, len(queries), p.idOffset)
-		if err != nil {
-			return nil, err
-		}
-		for qi := range queries {
-			results[qi] = knn.MergeTopK(results[qi], TopK(decoded[qi], k), k)
-		}
-	}
-	return results, nil
+	return e.QueryEncoded(batch, k)
+}
+
+// QueryEncoded answers a pre-encoded batch, letting pipelined drivers encode
+// the stream once and reuse it across boards and partitions.
+func (e *Engine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+	return queryPartitions(e.board, e.partitions, e.layout, batch, k)
 }

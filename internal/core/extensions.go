@@ -165,6 +165,9 @@ func BuildMultiDimStream(queries []bitvec.Vector, l MultiDimLayout) []byte {
 func DecodeMultiDimReports(reports []automata.Report, l MultiDimLayout, numQueries, idOffset int) ([][]knn.Neighbor, error) {
 	out := make([][]knn.Neighbor, numQueries)
 	for _, r := range reports {
+		if r.Cycle < 0 {
+			return nil, fmt.Errorf("core: multi-dim report at negative cycle %d", r.Cycle)
+		}
 		q, off := l.WindowOf(r.Cycle)
 		if q >= numQueries {
 			return nil, fmt.Errorf("core: multi-dim report beyond stream")

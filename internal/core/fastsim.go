@@ -21,19 +21,13 @@ type FastEngine struct {
 
 // NewFastEngine mirrors NewEngine's partitioning without building automata.
 func NewFastEngine(ds *bitvec.Dataset, opts EngineOptions) (*FastEngine, error) {
-	layout := NewLayout(ds.Dim())
-	if opts.Layout != nil {
-		layout = *opts.Layout
-	}
-	if err := layout.Validate(); err != nil {
+	layout, err := ResolveLayout(ds.Dim(), opts.Layout)
+	if err != nil {
 		return nil, err
 	}
-	capacity := opts.Capacity
-	if capacity == 0 {
-		capacity = DefaultBoardCapacity(ds.Dim())
-	}
-	if capacity <= 0 {
-		return nil, fmt.Errorf("core: non-positive board capacity %d", capacity)
+	capacity, err := ResolveCapacity(ds.Dim(), opts.Capacity)
+	if err != nil {
+		return nil, err
 	}
 	return &FastEngine{ds: ds, layout: layout, capacity: capacity}, nil
 }
@@ -60,20 +54,26 @@ func (f *FastEngine) ReportCycles(q bitvec.Vector) []int {
 
 // Query returns the same results Engine.Query produces.
 func (f *FastEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	batch, err := ValidateBatch(queries, f.layout)
+	if err != nil {
+		return nil, err
+	}
+	return f.QueryEncoded(batch, k)
+}
+
+// QueryEncoded answers a pre-validated batch without re-checking dimensions;
+// the symbol stream, if any, is ignored — this engine models the board
+// semantics directly from Hamming distances.
+func (f *FastEngine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	queries := batch.Queries()
 	results := make([][]knn.Neighbor, len(queries))
-	for lo := 0; lo < f.ds.Len(); lo += f.capacity {
-		hi := lo + f.capacity
-		if hi > f.ds.Len() {
-			hi = f.ds.Len()
-		}
+	for _, r := range PartitionRanges(f.ds.Len(), f.capacity) {
+		lo, hi := r[0], r[1]
 		part := f.ds.Slice(lo, hi)
 		for qi, q := range queries {
-			if q.Dim() != f.layout.Dim {
-				return nil, fmt.Errorf("core: query %d has dim %d, want %d", qi, q.Dim(), f.layout.Dim)
-			}
 			local := knn.Linear(part, q, k)
 			for i := range local {
 				local[i].ID += lo

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+)
+
+// FuzzDecodeReports feeds arbitrary report streams — including cycles far
+// outside any query window, negative cycles and garbage report IDs — to the
+// host-side decoder. Malformed streams must surface as errors, never
+// panics; well-formed output must be sorted and within distance bounds.
+func FuzzDecodeReports(f *testing.F) {
+	f.Add(uint8(4), uint8(2), []byte{0, 10, 0, 0, 0})
+	f.Add(uint8(32), uint8(3), []byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 2, 0, 1, 0, 0})
+	f.Add(uint8(64), uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, dimRaw, nqRaw uint8, raw []byte) {
+		dim := 1 + int(dimRaw)%128
+		numQueries := int(nqRaw) % 8
+		l := core.NewLayout(dim)
+
+		var reports []automata.Report
+		for i := 0; i+5 <= len(raw) && len(reports) < 256; i += 5 {
+			reports = append(reports, automata.Report{
+				ReportID: int32(raw[i]),
+				Cycle:    int(int32(binary.LittleEndian.Uint32(raw[i+1 : i+5]))),
+			})
+		}
+
+		decoded, err := core.DecodeReports(reports, l, numQueries, 0)
+		if err != nil {
+			return // malformed stream surfaced as an error — the contract
+		}
+		if len(decoded) != numQueries {
+			t.Fatalf("decoded %d query lists, want %d", len(decoded), numQueries)
+		}
+		for qi, ns := range decoded {
+			for j, n := range ns {
+				if n.Dist < 0 || n.Dist > dim {
+					t.Fatalf("query %d neighbor %d: distance %d outside [0,%d]", qi, j, n.Dist, dim)
+				}
+				if j > 0 && n.Less(ns[j-1]) {
+					t.Fatalf("query %d: neighbors not (dist, ID)-sorted at %d", qi, j)
+				}
+			}
+		}
+	})
+}

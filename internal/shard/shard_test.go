@@ -1,0 +1,364 @@
+package shard_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// queryEngine answers a batch; implemented by every engine under test.
+type queryEngine interface {
+	Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error)
+}
+
+func mustQuery(t *testing.T, e queryEngine, queries []bitvec.Vector, k int) [][]knn.Neighbor {
+	t.Helper()
+	res, err := e.Query(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertIdentical requires byte-identical neighbor lists: same IDs, same
+// distances, same (distance, ID) tie-break order, same lengths.
+func assertIdentical(t *testing.T, label string, got, want [][]knn.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d result lists, want %d", label, len(got), len(want))
+	}
+	for qi := range want {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("%s: query %d has %d neighbors, want %d", label, qi, len(got[qi]), len(want[qi]))
+		}
+		for j := range want[qi] {
+			if got[qi][j] != want[qi][j] {
+				t.Fatalf("%s: query %d rank %d = %+v, want %+v", label, qi, j, got[qi][j], want[qi][j])
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceFast sweeps the full matrix on the fast substrate:
+// seeded random datasets across dims {32, 128, 256}, several capacities and
+// k values, board counts {1, 2, 4, 7} — the sharded engine must return
+// byte-identical neighbor lists to the serial FastEngine.
+func TestShardEquivalenceFast(t *testing.T) {
+	cases := []struct {
+		dim, n     int
+		capacities []int
+		ks         []int
+	}{
+		{dim: 32, n: 130, capacities: []int{7, 16, 64}, ks: []int{1, 3, 10}},
+		{dim: 128, n: 96, capacities: []int{8, 24}, ks: []int{2, 5}},
+		{dim: 256, n: 100, capacities: []int{10, 33}, ks: []int{1, 4, 150}},
+	}
+	for _, c := range cases {
+		rng := stats.NewRNG(uint64(c.dim))
+		ds := bitvec.RandomDataset(rng, c.n, c.dim)
+		queries := make([]bitvec.Vector, 5)
+		for i := range queries {
+			queries[i] = bitvec.Random(rng, c.dim)
+		}
+		for _, capacity := range c.capacities {
+			serial, err := core.NewFastEngine(ds, core.EngineOptions{Capacity: capacity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range c.ks {
+				want := mustQuery(t, serial, queries, k)
+				for _, boards := range []int{1, 2, 4, 7} {
+					eng, err := shard.New(ds, shard.Options{Boards: boards, Capacity: capacity, Fast: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := mustQuery(t, eng, queries, k)
+					assertIdentical(t,
+						labelOf("fast", c.dim, capacity, k, boards), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceSimulated runs the cycle-accurate matrix: the sharded
+// multi-board engine, the serial board Engine and the FastEngine must agree
+// exactly, including tie-breaks, across dims {32, 128, 256} and board
+// counts {1, 2, 4, 7}.
+func TestShardEquivalenceSimulated(t *testing.T) {
+	cases := []struct {
+		dim, n, capacity, k int
+	}{
+		{dim: 32, n: 60, capacity: 9, k: 4},
+		{dim: 128, n: 28, capacity: 4, k: 3},
+		{dim: 256, n: 14, capacity: 2, k: 2},
+	}
+	for _, c := range cases {
+		rng := stats.NewRNG(uint64(1000 + c.dim))
+		ds := bitvec.RandomDataset(rng, c.n, c.dim)
+		queries := []bitvec.Vector{bitvec.Random(rng, c.dim), bitvec.Random(rng, c.dim)}
+
+		serial, err := core.NewEngine(ap.NewBoard(ap.Gen2()), ds, core.EngineOptions{Capacity: c.capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mustQuery(t, serial, queries, c.k)
+
+		fast, err := core.NewFastEngine(ds, core.EngineOptions{Capacity: c.capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, labelOf("fastref", c.dim, c.capacity, c.k, 1),
+			mustQuery(t, fast, queries, c.k), want)
+
+		for _, boards := range []int{1, 2, 4, 7} {
+			eng, err := shard.New(ds, shard.Options{Boards: boards, Capacity: c.capacity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Partitions() != serial.Partitions() {
+				t.Fatalf("sharded partitions = %d, serial = %d", eng.Partitions(), serial.Partitions())
+			}
+			got := mustQuery(t, eng, queries, c.k)
+			assertIdentical(t, labelOf("sim", c.dim, c.capacity, c.k, boards), got, want)
+		}
+	}
+}
+
+// TestShardModeledTime checks the scaling claim: the sharded engine's
+// modeled time is the maximum across its boards, and for >= 2 shards it is
+// strictly less than the serial single-board sweep of the same workload.
+func TestShardModeledTime(t *testing.T) {
+	rng := stats.NewRNG(17)
+	ds := bitvec.RandomDataset(rng, 60, 32)
+	queries := []bitvec.Vector{bitvec.Random(rng, 32), bitvec.Random(rng, 32)}
+	const capacity, k = 10, 3
+
+	serialBoard := ap.NewBoard(ap.Gen1())
+	serial, err := core.NewEngine(serialBoard, ds, core.EngineOptions{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, serial, queries, k)
+	serialTime := serialBoard.ModeledTime()
+
+	for _, boards := range []int{2, 4} {
+		eng, err := shard.New(ds, shard.Options{Boards: boards, Capacity: capacity, Config: ap.Gen1()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustQuery(t, eng, queries, k)
+		got := eng.ModeledTime()
+		if got <= 0 || got >= serialTime {
+			t.Errorf("boards=%d: modeled time %v, want in (0, %v)", boards, got, serialTime)
+		}
+		// Max-across-shards by definition: equal to the slowest fleet board.
+		fleet := eng.Fleet()
+		var max = fleet.Board(0).ModeledTime()
+		for i := 1; i < fleet.Len(); i++ {
+			if tm := fleet.Board(i).ModeledTime(); tm > max {
+				max = tm
+			}
+		}
+		if got != max {
+			t.Errorf("boards=%d: ModeledTime %v != max board %v", boards, got, max)
+		}
+	}
+
+	// Fast mode charges the same analytic model as the single board.
+	fastSerial, err := shard.New(ds, shard.Options{Boards: 1, Capacity: capacity, Fast: true, Config: ap.Gen1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, fastSerial, queries, k)
+	if got := fastSerial.ModeledTime(); got != serialTime {
+		t.Errorf("fast 1-board modeled time %v, want %v (the board's own accounting)", got, serialTime)
+	}
+	fast4, err := shard.New(ds, shard.Options{Boards: 4, Capacity: capacity, Fast: true, Config: ap.Gen1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, fast4, queries, k)
+	if got := fast4.ModeledTime(); got <= 0 || got >= serialTime {
+		t.Errorf("fast 4-board modeled time %v, want in (0, %v)", got, serialTime)
+	}
+}
+
+// TestSplit checks the shard planner invariants: full coverage, contiguity,
+// boundaries on whole configurations, and balanced distribution.
+func TestSplit(t *testing.T) {
+	for _, c := range []struct{ n, capacity, boards int }{
+		{0, 8, 4}, {5, 8, 4}, {100, 7, 1}, {100, 7, 3}, {100, 7, 100},
+		{1024, 1024, 4}, {4096, 512, 7},
+	} {
+		ranges := shard.Split(c.n, c.capacity, c.boards)
+		if c.n == 0 {
+			if len(ranges) != 0 {
+				t.Fatalf("Split(%v) = %v, want empty", c, ranges)
+			}
+			continue
+		}
+		if len(ranges) > c.boards {
+			t.Fatalf("Split(%v) = %d shards > %d boards", c, len(ranges), c.boards)
+		}
+		pos := 0
+		for _, r := range ranges {
+			if r[0] != pos || r[1] <= r[0] {
+				t.Fatalf("Split(%v): range %v not contiguous from %d", c, r, pos)
+			}
+			if r[0]%c.capacity != 0 {
+				t.Fatalf("Split(%v): boundary %d not on a configuration", c, r[0])
+			}
+			pos = r[1]
+		}
+		if pos != c.n {
+			t.Fatalf("Split(%v): covers [0,%d), want [0,%d)", c, pos, c.n)
+		}
+	}
+}
+
+// TestQueryBatchOrderAndErrors checks asynchronous delivery: submission
+// order, per-batch error isolation, and closure of the channel.
+func TestQueryBatchOrderAndErrors(t *testing.T) {
+	rng := stats.NewRNG(23)
+	ds := bitvec.RandomDataset(rng, 50, 32)
+	eng, err := shard.New(ds, shard.Options{Boards: 2, Capacity: 8, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.NewFastEngine(ds, core.EngineOptions{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good0 := []bitvec.Vector{bitvec.Random(rng, 32)}
+	bad := []bitvec.Vector{bitvec.Random(rng, 16)} // wrong dimensionality
+	good2 := []bitvec.Vector{bitvec.Random(rng, 32), bitvec.Random(rng, 32)}
+
+	i := 0
+	for res := range eng.QueryBatch([][]bitvec.Vector{good0, bad, good2}, 4) {
+		if res.Batch != i {
+			t.Fatalf("batch %d delivered at position %d", res.Batch, i)
+		}
+		switch i {
+		case 0, 2:
+			if res.Err != nil {
+				t.Fatalf("batch %d: %v", i, res.Err)
+			}
+			qs := good0
+			if i == 2 {
+				qs = good2
+			}
+			want := mustQuery(t, serial, qs, 4)
+			assertIdentical(t, "batch", res.Results, want)
+		case 1:
+			if res.Err == nil {
+				t.Fatal("dimensionality error not surfaced")
+			}
+		}
+		i++
+	}
+	if i != 3 {
+		t.Fatalf("received %d results, want 3", i)
+	}
+
+	for res := range eng.QueryBatch([][]bitvec.Vector{good0}, 0) {
+		if res.Err == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}
+}
+
+// TestConcurrentQueryBatch hammers one engine from many goroutines — the
+// -race coverage for the shared worker pool, the per-shard board mutexes
+// and the fast-mode meters. Every caller must see results identical to the
+// serial reference.
+func TestConcurrentQueryBatch(t *testing.T) {
+	rng := stats.NewRNG(31)
+	const dim, n, k = 64, 200, 6
+	ds := bitvec.RandomDataset(rng, n, dim)
+	queries := make([]bitvec.Vector, 4)
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, dim)
+	}
+	serial, err := core.NewFastEngine(ds, core.EngineOptions{Capacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Query(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"sim", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			eng, err := shard.New(ds, shard.Options{Boards: 4, Workers: 2, Capacity: 32, Fast: mode.fast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					batches := [][]bitvec.Vector{queries, queries}
+					for res := range eng.QueryBatch(batches, k) {
+						if res.Err != nil {
+							errs <- res.Err
+							return
+						}
+						if !reflect.DeepEqual(res.Results, want) {
+							errs <- errMismatch
+							return
+						}
+						// Sampling the accounting while queries are in
+						// flight must be race-free in both modes.
+						if eng.ModeledTime() < 0 || eng.SymbolsStreamed() < 0 {
+							errs <- errMismatch
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+var errMismatch = errorString("concurrent result diverged from serial reference")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func labelOf(mode string, dim, capacity, k, boards int) string {
+	return mode + " d=" + itoa(dim) + " cap=" + itoa(capacity) + " k=" + itoa(k) + " B=" + itoa(boards)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,95 @@
+package apknn_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeBinaries compiles and runs every command and the quickstart
+// examples end to end with tiny inputs, asserting the exit status and the
+// key lines of their output — the check that the user-facing entry points
+// actually work, not just compile.
+func TestSmokeBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	bindir := t.TempDir()
+	cases := []struct {
+		name string
+		pkg  string
+		args []string
+		want []string
+	}{
+		{
+			name: "apknn",
+			pkg:  "./cmd/apknn",
+			args: []string{"-n", "64", "-dim", "16", "-q", "2", "-k", "2", "-fast"},
+			want: []string{
+				"dataset: 64 vectors x 16 bits, 1 board configuration(s)",
+				"AP result agreement with exact CPU scan: 2/2 queries",
+			},
+		},
+		{
+			name: "apknn-sim-sharded",
+			pkg:  "./cmd/apknn",
+			args: []string{"-n", "40", "-dim", "16", "-q", "2", "-k", "2", "-capacity", "10", "-boards", "2"},
+			want: []string{
+				"4 board configuration(s)",
+				"across 2 board(s)",
+				"AP result agreement with exact CPU scan: 2/2 queries",
+				"modeled AP time",
+			},
+		},
+		{
+			name: "apbench",
+			pkg:  "./cmd/apbench",
+			args: []string{"-table", "1"},
+			want: []string{"Table I: evaluated platforms", "Automata Processor"},
+		},
+		{
+			name: "apcompile",
+			pkg:  "./cmd/apcompile",
+			args: []string{"-n", "8", "-dim", "16"},
+			want: []string{"design: 8 vectors x 16 dims", "STEs"},
+		},
+		{
+			name: "aptrace",
+			pkg:  "./cmd/aptrace",
+			args: nil,
+			want: []string{"Fig. 3 trace: vector=1011 query=1001"},
+		},
+		{
+			name: "quickstart",
+			pkg:  "./examples/quickstart",
+			args: nil,
+			want: []string{"board configurations used: 1", "modeled AP execution time"},
+		},
+		{
+			name: "sharded",
+			pkg:  "./examples/sharded",
+			args: nil,
+			want: []string{"sharded across 4 boards", "modeled speedup"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			bin := filepath.Join(bindir, c.name)
+			build := exec.Command("go", "build", "-o", bin, c.pkg)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s: %v\n%s", c.pkg, err, out)
+			}
+			out, err := exec.Command(bin, c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", c.name, c.args, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}
