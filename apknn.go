@@ -1,30 +1,35 @@
 // Package apknn is the public API of this reproduction of "Similarity Search
 // on Automata Processors" (Lee et al., IPDPS 2017): k-nearest-neighbor
 // similarity search over binary codes executed as nondeterministic finite
-// automata on a simulated Micron Automata Processor.
+// automata on a simulated Micron Automata Processor, compared against the
+// paper's CPU, GPU, FPGA and approximate-indexing baselines.
 //
-// The package ties together the internal substrates — the cycle-accurate AP
-// simulator, the kNN automata generators, the partial-reconfiguration
-// engine, the quantization pipeline and the exact CPU baselines — behind a
-// small searcher interface:
+// Every compute platform the paper evaluates is a registered Backend,
+// selected through functional options on Open:
 //
 //	ds := apknn.RandomDataset(seed, n, dim)
-//	s, err := apknn.NewSearcher(ds, apknn.Options{})
-//	results, err := s.Query(queries, k)
+//	idx, err := apknn.Open(ds,
+//		apknn.WithBackend(apknn.AP),
+//		apknn.WithBoards(4),
+//		apknn.WithGeneration(apknn.Gen1))
+//	results, err := idx.Search(ctx, queries, k)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-reproduced audit of every table and figure.
+// Search and SearchBatch accept a context.Context whose cancellation aborts
+// in-flight board work; failures are typed sentinel errors (ErrDimMismatch,
+// ErrEmptyDataset, ErrBadK, ErrCanceled) matched with errors.Is; Stats
+// returns a serving snapshot. The pre-Backend NewSearcher/Options surface
+// remains as a deprecated shim.
+//
+// See README.md for the system inventory, the backend guide, and the
+// paper-vs-reproduced audit of the evaluation tables.
 package apknn
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/ap"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
 	"repro/internal/quantize"
-	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -47,88 +52,6 @@ const (
 	// Gen2 is the projected board with ~100x faster reconfiguration.
 	Gen2 Generation = 2
 )
-
-// Options configures a Searcher.
-type Options struct {
-	// Generation of the modeled board (default Gen2).
-	Generation Generation
-	// Capacity overrides vectors per board configuration (default: the
-	// paper's §V-A capacities — 1024 for d <= 128, 512 above).
-	Capacity int
-	// Exact switches to the semantics-equivalent fast engine, which returns
-	// identical results without cycle-accurate simulation. Use it for large
-	// datasets; the default simulator engine exercises the real automata.
-	Exact bool
-	// Boards shards the dataset across this many simulated boards (default
-	// 1). Each board owns a disjoint slice of the dataset, all boards
-	// stream every query batch concurrently, and the host merges their
-	// top-k lists — so results are identical to a single board while the
-	// modeled time becomes the maximum across boards instead of the sum
-	// over the configuration sweep.
-	Boards int
-	// Workers bounds how many boards stream concurrently (default: one
-	// worker per board).
-	Workers int
-}
-
-// BatchResult is one completed batch of an asynchronous QueryBatch call.
-type BatchResult = shard.BatchResult
-
-// Searcher answers kNN queries against a fixed dataset using the paper's
-// automata design. It is safe for concurrent use.
-type Searcher struct {
-	engine *shard.Engine
-	dim    int
-}
-
-// NewSearcher builds the kNN automata for ds and precompiles its board
-// images.
-func NewSearcher(ds *Dataset, opts Options) (*Searcher, error) {
-	cfg := ap.Gen2()
-	if opts.Generation == Gen1 {
-		cfg = ap.Gen1()
-	}
-	eng, err := shard.New(ds, shard.Options{
-		Boards:   opts.Boards,
-		Workers:  opts.Workers,
-		Capacity: opts.Capacity,
-		Fast:     opts.Exact,
-		Config:   cfg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Searcher{engine: eng, dim: ds.Dim()}, nil
-}
-
-// Query returns the k nearest neighbors of each query, (distance, ID)-sorted
-// with deterministic tie-breaks.
-func (s *Searcher) Query(queries []Vector, k int) ([][]Neighbor, error) {
-	return s.engine.Query(queries, k)
-}
-
-// QueryBatch answers many query batches asynchronously, pipelining query
-// encoding against board streaming and report decoding. Results arrive on
-// the returned channel in submission order; the channel closes after the
-// last batch. Multiple goroutines may call QueryBatch (and Query)
-// concurrently on one Searcher.
-func (s *Searcher) QueryBatch(batches [][]Vector, k int) <-chan BatchResult {
-	return s.engine.QueryBatch(batches, k)
-}
-
-// Partitions reports how many board configurations the dataset spans.
-func (s *Searcher) Partitions() int { return s.engine.Partitions() }
-
-// Boards reports how many boards the dataset is sharded across.
-func (s *Searcher) Boards() int { return s.engine.Shards() }
-
-// ModeledTime returns the modeled AP wall-clock estimate (streaming at
-// 133 MHz plus partial reconfigurations), taken as the maximum across
-// boards since they stream concurrently. The exact engine charges the same
-// analytic model.
-func (s *Searcher) ModeledTime() time.Duration {
-	return s.engine.ModeledTime()
-}
 
 // ExactSearch is the CPU reference: an exact multi-threaded linear scan.
 func ExactSearch(ds *Dataset, queries []Vector, k, workers int) [][]Neighbor {

@@ -1,0 +1,109 @@
+package apknn
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fpga"
+	"repro/internal/gpu"
+)
+
+// The fixed-function accelerator baselines of §IV-C. Both compute exact
+// results — bit-identical to the CPU scan, including the shared
+// (distance, ID) tie-break — and accumulate their calibrated performance
+// models as ModeledTime.
+func init() {
+	mustRegister(backendFunc{GPU, func(ds *Dataset, cfg Config) (Index, error) {
+		gcfg := gpu.TitanX()
+		if cfg.GPU == TegraK1 {
+			gcfg = gpu.TegraK1()
+		}
+		if cfg.Workers > 0 {
+			gcfg.Workers = cfg.Workers
+		}
+		dev, err := gpu.New(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		return &gpuIndex{ds: ds, dev: dev, name: gcfg.Name}, nil
+	}})
+	mustRegister(backendFunc{FPGA, func(ds *Dataset, cfg Config) (Index, error) {
+		acc, err := fpga.New(fpga.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &fpgaIndex{ds: ds, acc: acc}, nil
+	}})
+}
+
+// gpuIndex serves the calibrated CUDA-kNN model.
+type gpuIndex struct {
+	ds      *Dataset
+	dev     *gpu.Device
+	name    string
+	ctrs    counters
+	modeled atomic.Int64 // nanoseconds
+	pairs   atomic.Int64
+}
+
+func (g *gpuIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
+	res, err := g.dev.Search(ctx, g.ds, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	g.ctrs.countSearch(len(queries))
+	g.modeled.Add(int64(res.Time))
+	g.pairs.Add(int64(g.ds.Len()) * int64(len(queries)))
+	return res.Neighbors, nil
+}
+
+func (g *gpuIndex) SearchBatch(ctx context.Context, batches [][]Vector, k int) <-chan BatchResult {
+	return sequentialBatches(ctx, batches, k, g.Search)
+}
+
+func (g *gpuIndex) ModeledTime() time.Duration { return time.Duration(g.modeled.Load()) }
+
+func (g *gpuIndex) Stats() Stats {
+	st := g.ctrs.snapshot(GPU)
+	st.Boards = 1
+	st.CandidatesScanned = g.pairs.Load()
+	return st
+}
+
+// fpgaIndex serves the cycle-level Kintex-7 accelerator model.
+type fpgaIndex struct {
+	ds      *Dataset
+	acc     *fpga.Accelerator
+	ctrs    counters
+	modeled atomic.Int64 // nanoseconds
+	cycles  atomic.Int64
+	pairs   atomic.Int64
+}
+
+func (f *fpgaIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
+	res, err := f.acc.Search(ctx, f.ds, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	f.ctrs.countSearch(len(queries))
+	f.modeled.Add(int64(res.Time))
+	f.cycles.Add(int64(res.Cycles))
+	f.pairs.Add(int64(f.ds.Len()) * int64(len(queries)))
+	return res.Neighbors, nil
+}
+
+func (f *fpgaIndex) SearchBatch(ctx context.Context, batches [][]Vector, k int) <-chan BatchResult {
+	return sequentialBatches(ctx, batches, k, f.Search)
+}
+
+func (f *fpgaIndex) ModeledTime() time.Duration { return time.Duration(f.modeled.Load()) }
+
+func (f *fpgaIndex) Stats() Stats {
+	st := f.ctrs.snapshot(FPGA)
+	st.Boards = 1
+	// The accelerator's streamed cycles play the symbol-cycle role here.
+	st.SymbolsStreamed = f.cycles.Load()
+	st.CandidatesScanned = f.pairs.Load()
+	return st
+}

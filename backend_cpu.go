@@ -1,0 +1,67 @@
+package apknn
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aperr"
+	"repro/internal/knn"
+	"repro/internal/perfmodel"
+)
+
+func init() {
+	mustRegister(backendFunc{CPU, func(ds *Dataset, cfg Config) (Index, error) {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		return &cpuIndex{ds: ds, workers: workers, platform: perfmodel.XeonE5()}, nil
+	}})
+}
+
+// cpuIndex is the exact CPU baseline (§IV-C): a multi-threaded XOR+POPCOUNT
+// linear scan with bounded-heap top-k selection. Modeled time charges the
+// calibrated Xeon E5 pair-cost model per batch.
+type cpuIndex struct {
+	ds       *Dataset
+	workers  int
+	platform perfmodel.Platform
+	ctrs     counters
+	modeled  atomic.Int64 // nanoseconds
+	pairs    atomic.Int64
+}
+
+func (c *cpuIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cpu: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	for i, q := range queries {
+		if q.Dim() != c.ds.Dim() {
+			return nil, fmt.Errorf("cpu: query %d dim %d != dataset dim %d: %w", i, q.Dim(), c.ds.Dim(), aperr.ErrDimMismatch)
+		}
+	}
+	res, err := knn.BatchContext(ctx, c.ds, queries, k, c.workers)
+	if err != nil {
+		return nil, err
+	}
+	c.ctrs.countSearch(len(queries))
+	c.modeled.Add(int64(perfmodel.CPUTime(c.platform, c.ds.Len(), len(queries), c.ds.Dim())))
+	c.pairs.Add(int64(c.ds.Len()) * int64(len(queries)))
+	return res, nil
+}
+
+func (c *cpuIndex) SearchBatch(ctx context.Context, batches [][]Vector, k int) <-chan BatchResult {
+	return sequentialBatches(ctx, batches, k, c.Search)
+}
+
+func (c *cpuIndex) ModeledTime() time.Duration { return time.Duration(c.modeled.Load()) }
+
+func (c *cpuIndex) Stats() Stats {
+	st := c.ctrs.snapshot(CPU)
+	st.Boards = 1
+	st.CandidatesScanned = c.pairs.Load()
+	return st
+}

@@ -1,0 +1,104 @@
+package apknn
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/shard"
+)
+
+// The three AP-family backends all compile onto the sharded multi-board
+// engine — it is the one query engine of this repository — differing only
+// in substrate and default fleet size:
+//
+//   - AP: cycle-accurate board simulation, 1 board unless WithBoards says
+//     otherwise. This is the paper's evaluated configuration.
+//   - Fast: the semantics-equivalent analytic engine, 1 board by default.
+//   - Sharded: the scale-out fleet on the fast substrate, 4 boards by
+//     default — the production serving shape.
+func init() {
+	mustRegister(backendFunc{AP, func(ds *Dataset, cfg Config) (Index, error) {
+		return newShardIndex(ds, cfg, AP, false, 1)
+	}})
+	mustRegister(backendFunc{Fast, func(ds *Dataset, cfg Config) (Index, error) {
+		return newShardIndex(ds, cfg, Fast, true, 1)
+	}})
+	mustRegister(backendFunc{Sharded, func(ds *Dataset, cfg Config) (Index, error) {
+		return newShardIndex(ds, cfg, Sharded, true, 4)
+	}})
+}
+
+// shardIndex serves one of the AP-family backends through shard.Engine.
+type shardIndex struct {
+	kind BackendKind
+	eng  *shard.Engine
+	ctrs counters
+}
+
+func newShardIndex(ds *Dataset, cfg Config, kind BackendKind, fast bool, defaultBoards int) (Index, error) {
+	boards := cfg.Boards
+	if boards == 0 {
+		boards = defaultBoards
+	}
+	device := ap.Gen2()
+	if cfg.Generation == Gen1 {
+		device = ap.Gen1()
+	}
+	eng, err := shard.New(ds, shard.Options{
+		Boards:   boards,
+		Workers:  cfg.Workers,
+		Capacity: cfg.Capacity,
+		Fast:     fast,
+		Config:   device,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &shardIndex{kind: kind, eng: eng}, nil
+}
+
+func (s *shardIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
+	res, err := s.eng.Query(ctx, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrs.countSearch(len(queries))
+	return res, nil
+}
+
+// SearchBatch delegates to the engine's pipelined driver (encoding overlaps
+// board streaming) and counts delivered batches on the way through.
+func (s *shardIndex) SearchBatch(ctx context.Context, batches [][]Vector, k int) <-chan BatchResult {
+	in := s.eng.QueryBatch(ctx, batches, k)
+	out := make(chan BatchResult, len(batches))
+	go func() {
+		defer close(out)
+		for res := range in {
+			if res.Err == nil {
+				s.ctrs.queries.Add(int64(len(batches[res.Batch])))
+				s.ctrs.batches.Add(1)
+			}
+			out <- res
+		}
+	}()
+	return out
+}
+
+func (s *shardIndex) ModeledTime() time.Duration { return s.eng.ModeledTime() }
+
+func (s *shardIndex) Stats() Stats {
+	st := s.ctrs.snapshot(s.kind)
+	st.Boards = s.eng.Shards()
+	st.Partitions = s.eng.Partitions()
+	st.SymbolsStreamed = int64(s.eng.SymbolsStreamed())
+	st.Reconfigs = int64(s.eng.Reconfigs())
+	st.PerBoardTime = s.eng.BoardTimes()
+	return st
+}
+
+// Partitions reports how many board configurations the dataset spans.
+func (s *shardIndex) Partitions() int { return s.eng.Partitions() }
+
+// Boards reports how many boards the dataset is sharded across.
+func (s *shardIndex) Boards() int { return s.eng.Shards() }

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation, one per table and figure
-// (see DESIGN.md's experiment index). Each BenchmarkTableN/BenchmarkFigN
+// (see README.md's experiment index). Each BenchmarkTableN/BenchmarkFigN
 // exercises the code path that reproduces that experiment; the analytic
 // table builders print paper-vs-reproduced numbers once per run via the
 // bench harness in cmd/apbench. Micro-benchmarks at the bottom measure this
@@ -7,6 +7,7 @@
 package apknn_test
 
 import (
+	"context"
 	"testing"
 
 	apknn "repro"
@@ -413,7 +414,7 @@ func BenchmarkSortAblation(b *testing.B) {
 }
 
 // BenchmarkLayoutAblation compares the paper-exact stream layout against the
-// monotonic default (the DESIGN.md timing-hazard fix costs a few extra
+// monotonic default (the README.md timing-hazard fix costs a few extra
 // cycles per query).
 func BenchmarkLayoutAblation(b *testing.B) {
 	rng := stats.NewRNG(13)
@@ -476,7 +477,7 @@ func BenchmarkFPGAAccelerator(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := acc.Search(ds, queries, 4); err != nil {
+		if _, err := acc.Search(context.Background(), ds, queries, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -492,7 +493,7 @@ func BenchmarkGPUModel(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dev.Search(ds, queries, 4); err != nil {
+		if _, err := dev.Search(context.Background(), ds, queries, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

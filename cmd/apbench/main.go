@@ -2,16 +2,18 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends)
 //	apbench -all              # everything
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	apknn "repro"
 	"repro/internal/ap"
 	"repro/internal/automata"
 	"repro/internal/bitvec"
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	flag.Parse()
@@ -34,7 +36,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends"} {
 			runExperiment(e)
 		}
 		return
@@ -121,7 +123,7 @@ func table6(runs int) {
 	cs.Render(os.Stdout)
 	fmt.Println()
 
-	tb := report.NewTable("Table VI addendum: faithful-hardware mode (see EXPERIMENTS.md)",
+	tb := report.NewTable("Table VI addendum: faithful-hardware mode (see README.md)",
 		"config", "incorrect (%)", "bandwidth reduction")
 	tb.AlignLeft(0)
 	for _, w := range workload.All() {
@@ -155,6 +157,8 @@ func runExperiment(name string) {
 		muxExperiment()
 	case "shard":
 		shardExperiment()
+	case "backends":
+		backendsExperiment()
 	default:
 		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
 		os.Exit(2)
@@ -215,7 +219,7 @@ func shardExperiment() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		if _, err := eng.Query(queries, k); err != nil {
+		if _, err := eng.Query(context.Background(), queries, k); err != nil {
 			fmt.Fprintln(os.Stderr, "apbench:", err)
 			os.Exit(1)
 		}
@@ -229,6 +233,72 @@ func shardExperiment() {
 			modeled,
 			fmt.Sprintf("%.2fx", float64(serial)/float64(modeled)),
 			wall.Round(time.Microsecond))
+	}
+	tb.Render(os.Stdout)
+}
+
+// backendsExperiment is the paper-style cross-platform table over the
+// public Backend surface: the same dataset and query batch answered by
+// every registered backend through apknn.Open, reporting the platform's
+// modeled time, this machine's host wall-clock, and result quality against
+// the exact CPU scan (the comparative framing of Tables III/IV/V).
+func backendsExperiment() {
+	const n, dim, nq, k, capacity = 2048, 64, 8, 8, 512
+	ds := apknn.RandomDataset(444, n, dim)
+	queries := apknn.RandomQueries(445, nq, dim)
+	exact := apknn.ExactSearch(ds, queries, k, 4)
+
+	cases := []struct {
+		name string
+		opts []apknn.Option
+	}{
+		{"ap (Gen 2 sim)", []apknn.Option{apknn.WithBackend(apknn.AP)}},
+		{"fast (analytic)", []apknn.Option{apknn.WithBackend(apknn.Fast)}},
+		{"sharded x4 (fleet)", []apknn.Option{apknn.WithBackend(apknn.Sharded), apknn.WithBoards(4)}},
+		{"cpu (Xeon E5 scan)", []apknn.Option{apknn.WithBackend(apknn.CPU)}},
+		{"gpu (Titan X model)", []apknn.Option{apknn.WithBackend(apknn.GPU), apknn.WithGPUModel(apknn.TitanX)}},
+		{"gpu (Tegra K1 model)", []apknn.Option{apknn.WithBackend(apknn.GPU), apknn.WithGPUModel(apknn.TegraK1)}},
+		{"fpga (Kintex-7 model)", []apknn.Option{apknn.WithBackend(apknn.FPGA)}},
+		{"approx (MPLSH)", []apknn.Option{apknn.WithBackend(apknn.Approx), apknn.WithIndex(apknn.LSH), apknn.WithProbes(16)}},
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("Cross-platform backends (n=%d, d=%d, %d queries, k=%d)", n, dim, nq, k),
+		"backend", "boards", "modeled time", "host wall-clock", "recall@k", "exact")
+	tb.AlignLeft(0)
+	ctx := context.Background()
+	for _, c := range cases {
+		opts := append([]apknn.Option{apknn.WithCapacity(capacity)}, c.opts...)
+		idx, err := apknn.Open(ds, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		results, err := idx.Search(ctx, queries, k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		recall := 0.0
+		identical := true
+		for qi := range queries {
+			recall += apknn.Recall(results[qi], exact[qi])
+			if len(results[qi]) != len(exact[qi]) {
+				identical = false
+				continue
+			}
+			for j := range exact[qi] {
+				if results[qi][j] != exact[qi][j] {
+					identical = false
+					break
+				}
+			}
+		}
+		st := idx.Stats()
+		tb.Row(c.name, st.Boards, idx.ModeledTime(), wall.Round(time.Microsecond),
+			fmt.Sprintf("%.2f", recall/float64(len(queries))), identical)
 	}
 	tb.Render(os.Stdout)
 }

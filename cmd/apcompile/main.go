@@ -1,16 +1,20 @@
 // Command apcompile builds the paper's kNN automata for a workload, places
 // them on the modeled AP board, prints the apadmin-style compilation report
-// (§V-A), and optionally exports the design as ANML.
+// (§V-A), and optionally exports the design as ANML or verifies the
+// compiled design end to end through the public backend surface.
 //
 //	apcompile -workload SIFT
 //	apcompile -n 64 -dim 32 -anml design.xml
+//	apcompile -n 64 -dim 32 -verify
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	apknn "repro"
 	"repro/internal/anml"
 	"repro/internal/ap"
 	"repro/internal/automata"
@@ -26,6 +30,7 @@ func main() {
 	dim := flag.Int("dim", 64, "code dimensionality")
 	seed := flag.Uint64("seed", 7, "random seed")
 	anmlOut := flag.String("anml", "", "write the design as ANML XML to this file")
+	verify := flag.Bool("verify", false, "run the compiled design through the AP backend and check it against the exact scan")
 	paperArea := flag.Bool("paper-area", true, "apply the §V-A calibrated routing-area factor")
 	packed := flag.Bool("packed", false, "use the §VI-A vector-packed design")
 	flag.Parse()
@@ -77,6 +82,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("ANML written to %s\n", *anmlOut)
+	}
+
+	if *verify {
+		// The same dataset served through the public Backend surface: the
+		// cycle-accurate AP backend must agree with the exact CPU scan.
+		idx, err := apknn.Open(ds, apknn.WithBackend(apknn.AP), apknn.WithGeneration(apknn.Gen1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apcompile:", err)
+			os.Exit(1)
+		}
+		const q, k = 4, 3
+		queries := apknn.RandomQueries(*seed+1, q, *dim)
+		got, err := idx.Search(context.Background(), queries, k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apcompile:", err)
+			os.Exit(1)
+		}
+		want := apknn.ExactSearch(ds, queries, k, 2)
+		for qi := range queries {
+			for j := range want[qi] {
+				if got[qi][j] != want[qi][j] {
+					fmt.Fprintf(os.Stderr, "apcompile: verify failed: query %d rank %d = %v, want %v\n",
+						qi, j, got[qi][j], want[qi][j])
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("verify: AP backend matches exact scan on %d queries (modeled time %v)\n",
+			q, idx.ModeledTime())
 	}
 }
 

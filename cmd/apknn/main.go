@@ -1,13 +1,19 @@
-// Command apknn runs end-to-end k-nearest-neighbor search on the simulated
-// Automata Processor and cross-checks the result against the exact CPU scan.
+// Command apknn runs end-to-end k-nearest-neighbor search on any of the
+// registered compute backends and cross-checks the result against the exact
+// CPU scan.
 //
 //	apknn -n 2048 -dim 64 -q 8 -k 4 -gen 2
+//	apknn -backend sharded -boards 4 -n 100000 -dim 128
+//	apknn -backend gpu -gpu titanx
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	apknn "repro"
 	"repro/internal/perfmodel"
@@ -20,36 +26,94 @@ func main() {
 	k := flag.Int("k", 4, "neighbors per query")
 	gen := flag.Int("gen", 2, "AP generation (1 or 2)")
 	seed := flag.Uint64("seed", 42, "random seed")
-	exact := flag.Bool("fast", false, "use the semantics-equivalent fast engine instead of cycle-accurate simulation")
+	backend := flag.String("backend", "", "compute backend: ap, fast, sharded, cpu, gpu, fpga, approx (default ap)")
+	fast := flag.Bool("fast", false, "deprecated alias for -backend fast")
+	gpuModel := flag.String("gpu", "titanx", "GPU to model with -backend gpu: titanx or tegrak1")
+	idxKind := flag.String("index", "lsh", "index structure with -backend approx: lsh, kmeans or kdforest")
+	probes := flag.Int("probes", 0, "candidate buckets per query with -backend approx (0 = default)")
 	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
-	boards := flag.Int("boards", 1, "shard the dataset across this many boards")
-	workers := flag.Int("workers", 0, "concurrent board workers (0 = one per board)")
+	boards := flag.Int("boards", 0, "shard the dataset across this many boards (0 = backend default)")
+	workers := flag.Int("workers", 0, "host-side parallelism (0 = backend default)")
 	verbose := flag.Bool("v", false, "print each query's neighbors")
 	flag.Parse()
+
+	kind := apknn.BackendKind(*backend)
+	if kind == "" {
+		kind = apknn.AP
+		if *fast {
+			kind = apknn.Fast
+		}
+	}
+	generation := apknn.Gen2
+	if *gen == 1 {
+		generation = apknn.Gen1
+	}
+	var gm apknn.GPUModel
+	switch *gpuModel {
+	case "titanx":
+		gm = apknn.TitanX
+	case "tegrak1":
+		gm = apknn.TegraK1
+	default:
+		fmt.Fprintf(os.Stderr, "apknn: unknown GPU model %q (want titanx or tegrak1)\n", *gpuModel)
+		os.Exit(2)
+	}
+	var ik apknn.IndexKind
+	switch *idxKind {
+	case "lsh":
+		ik = apknn.LSH
+	case "kmeans":
+		ik = apknn.KMeansTree
+	case "kdforest":
+		ik = apknn.KDForest
+	default:
+		fmt.Fprintf(os.Stderr, "apknn: unknown index structure %q\n", *idxKind)
+		os.Exit(2)
+	}
 
 	ds := apknn.RandomDataset(*seed, *n, *dim)
 	queries := apknn.RandomQueries(*seed+1, *q, *dim)
 
-	opts := apknn.Options{Exact: *exact, Capacity: *capacity, Boards: *boards, Workers: *workers}
-	if *gen == 1 {
-		opts.Generation = apknn.Gen1
-	}
-	searcher, err := apknn.NewSearcher(ds, opts)
+	idx, err := apknn.Open(ds,
+		apknn.WithBackend(kind),
+		apknn.WithGeneration(generation),
+		apknn.WithCapacity(*capacity),
+		apknn.WithBoards(*boards),
+		apknn.WithWorkers(*workers),
+		apknn.WithGPUModel(gm),
+		apknn.WithIndex(ik),
+		apknn.WithProbes(*probes),
+		apknn.WithSeed(*seed+2),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apknn:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset: %d vectors x %d bits, %d board configuration(s) across %d board(s) on %s\n",
-		*n, *dim, searcher.Partitions(), searcher.Boards(), opts.Generation)
 
-	results, err := searcher.Query(queries, *k)
+	// Ctrl-C cancels the in-flight batch instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results, err := idx.Search(ctx, queries, *k)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "apknn:", err)
+		if errors.Is(err, apknn.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "apknn: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "apknn:", err)
+		}
 		os.Exit(1)
 	}
+	st := idx.Stats()
+	if st.Partitions > 0 && kind != apknn.Approx {
+		fmt.Printf("dataset: %d vectors x %d bits, %d board configuration(s) across %d board(s) on %s\n",
+			*n, *dim, st.Partitions, st.Boards, generation)
+	} else {
+		fmt.Printf("dataset: %d vectors x %d bits on backend %q\n", *n, *dim, kind)
+	}
+
 	reference := apknn.ExactSearch(ds, queries, *k, 4)
-
 	agree := 0
+	recall := 0.0
 	for qi := range queries {
 		match := len(results[qi]) == len(reference[qi])
 		if match {
@@ -63,6 +127,7 @@ func main() {
 		if match {
 			agree++
 		}
+		recall += apknn.Recall(results[qi], reference[qi])
 		if *verbose {
 			fmt.Printf("query %d:\n", qi)
 			for rank, nb := range results[qi] {
@@ -70,13 +135,23 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("AP result agreement with exact CPU scan: %d/%d queries\n", agree, len(queries))
-	if t := searcher.ModeledTime(); t > 0 {
-		fmt.Printf("modeled AP time (133 MHz stream + reconfiguration): %v\n", t)
+	exactBackend := kind != apknn.Approx
+	if exactBackend {
+		fmt.Printf("AP result agreement with exact CPU scan: %d/%d queries\n", agree, len(queries))
+	} else {
+		fmt.Printf("recall@%d vs exact CPU scan: %.2f (scanned %d candidates; index spans %d buckets)\n",
+			*k, recall/float64(len(queries)), st.CandidatesScanned, st.Partitions)
+	}
+	if t := idx.ModeledTime(); t > 0 {
+		fmt.Printf("modeled %s time: %v\n", kind, t)
+	}
+	if st.SymbolsStreamed > 0 {
+		fmt.Printf("stats: %d queries, %d batches, %d symbol cycles, %d reconfiguration(s)\n",
+			st.Queries, st.Batches, st.SymbolsStreamed, st.Reconfigs)
 	}
 	armTime := perfmodel.CPUTime(perfmodel.CortexA15(), *n, *q, *dim)
 	fmt.Printf("modeled ARM Cortex A15 time for the same batch: %v\n", armTime)
-	if agree != len(queries) {
+	if exactBackend && agree != len(queries) {
 		os.Exit(1)
 	}
 }

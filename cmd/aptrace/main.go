@@ -12,8 +12,8 @@ import (
 	"os"
 	"strings"
 
+	apknn "repro"
 	"repro/internal/automata"
-	"repro/internal/bitvec"
 	"repro/internal/core"
 )
 
@@ -25,9 +25,9 @@ func main() {
 	layoutName := flag.String("layout", "paper", "stream layout: paper (Fig. 3 exact) or safe (monotonic)")
 	flag.Parse()
 
-	vec, err := bitvec.ParseBits(*vecStr)
+	vec, err := apknn.ParseVector(*vecStr)
 	exitOn(err)
-	query, err := bitvec.ParseBits(*queryStr)
+	query, err := apknn.ParseVector(*queryStr)
 	exitOn(err)
 	if vec.Dim() != query.Dim() {
 		exitOn(fmt.Errorf("vector dim %d != query dim %d", vec.Dim(), query.Dim()))
@@ -46,7 +46,7 @@ func main() {
 	net := automata.NewNetwork()
 	core.BuildMacro(net, vec, layout, 0)
 	if *two {
-		vecB, err := bitvec.ParseBits(*vecBStr)
+		vecB, err := apknn.ParseVector(*vecBStr)
 		exitOn(err)
 		core.BuildMacro(net, vecB, layout, 1)
 		fmt.Printf("Fig. 4 trace: A=%s B=%s query=%s (%s layout)\n", *vecStr, *vecBStr, *queryStr, *layoutName)

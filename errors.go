@@ -1,0 +1,22 @@
+package apknn
+
+import "repro/internal/aperr"
+
+// The typed sentinel errors every backend returns; match them with
+// errors.Is. They replace the ad-hoc error strings of the pre-Backend API,
+// and the internal engines wrap the same sentinels, so a failure surfaces
+// the matching sentinel no matter how deep it originated.
+var (
+	// ErrDimMismatch reports a query whose dimensionality differs from the
+	// dataset it is searched against.
+	ErrDimMismatch = aperr.ErrDimMismatch
+	// ErrEmptyDataset reports an Open over a nil or empty dataset.
+	ErrEmptyDataset = aperr.ErrEmptyDataset
+	// ErrBadK reports a non-positive neighbor count.
+	ErrBadK = aperr.ErrBadK
+	// ErrCanceled reports a search aborted by its context; the error chain
+	// also carries the context's own cause.
+	ErrCanceled = aperr.ErrCanceled
+	// ErrUnknownBackend reports an Open with an unregistered backend kind.
+	ErrUnknownBackend = aperr.ErrUnknownBackend
+)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,14 +26,16 @@ func main() {
 	ds := workload.Clustered(rng, 60, docs/60, dim, 5)
 	qs := workload.PlantedQueries(rng, ds, queries, 3)
 
-	searcher, err := apknn.NewSearcher(ds, apknn.Options{Capacity: capacity, Generation: apknn.Gen1})
+	searcher, err := apknn.Open(ds,
+		apknn.WithCapacity(capacity),
+		apknn.WithGeneration(apknn.Gen1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("corpus of %d document codes spans %d board configurations\n",
-		docs, searcher.Partitions())
+		docs, searcher.Stats().Partitions)
 
-	results, err := searcher.Query(qs, k)
+	results, err := searcher.Search(context.Background(), qs, k)
 	if err != nil {
 		log.Fatal(err)
 	}

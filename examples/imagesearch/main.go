@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	}
 	fmt.Printf("encoded %d descriptors into %d-bit ITQ codes\n", ds.Len(), ds.Dim())
 
-	searcher, err := apknn.NewSearcher(ds, apknn.Options{})
+	searcher, err := apknn.Open(ds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 		queries = append(queries, itq.Encode(noisy))
 		queryLabels = append(queryLabels, labels[idx])
 	}
-	results, err := searcher.Query(queries, k)
+	results, err := searcher.Search(context.Background(), queries, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 		}
 	}
 	fmt.Printf("retrieved %d neighbors for %d queries on %d board configuration(s)\n",
-		total, numQuery, searcher.Partitions())
+		total, numQuery, searcher.Stats().Partitions)
 	fmt.Printf("scene precision@%d: %.1f%% (chance: %.1f%%)\n",
 		k, 100*float64(hits)/float64(total), 100.0/scenes)
 	if float64(hits)/float64(total) < 3.0/float64(scenes) {

@@ -1,9 +1,10 @@
 // Quickstart: the sixty-second tour of the library — build a binary dataset,
-// run kNN on the simulated Automata Processor, and verify against the exact
-// CPU scan.
+// open it on the simulated Automata Processor backend, and verify against
+// the exact CPU scan.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,13 +17,15 @@ func main() {
 	ds := apknn.RandomDataset(42, 1000, 64)
 	queries := apknn.RandomQueries(43, 5, 64)
 
-	// The searcher compiles one Hamming + sorting macro per vector onto the
-	// modeled AP board and answers queries with the temporally encoded sort.
-	searcher, err := apknn.NewSearcher(ds, apknn.Options{})
+	// Open compiles one Hamming + sorting macro per vector onto the modeled
+	// AP board and answers queries with the temporally encoded sort.
+	// WithBackend picks the compute platform; AP — the cycle-accurate
+	// simulator — is also the default.
+	idx, err := apknn.Open(ds, apknn.WithBackend(apknn.AP))
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, err := searcher.Query(queries, 3)
+	results, err := idx.Search(context.Background(), queries, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,6 +38,6 @@ func main() {
 		}
 		fmt.Printf("  recall vs exact CPU scan: %.0f%%\n", 100*apknn.Recall(neighbors, exact[qi]))
 	}
-	fmt.Printf("\nboard configurations used: %d\n", searcher.Partitions())
-	fmt.Printf("modeled AP execution time: %v\n", searcher.ModeledTime())
+	fmt.Printf("\nboard configurations used: %d\n", idx.Stats().Partitions)
+	fmt.Printf("modeled AP execution time: %v\n", idx.ModeledTime())
 }

@@ -1,10 +1,12 @@
-// Sharded search: spread a dataset across four simulated AP boards, answer
-// query batches asynchronously with QueryBatch, and compare the modeled
-// multi-board time against a single board — the data-parallel scaling story
-// the paper's partial-reconfiguration engine (§III-C) builds toward.
+// Sharded search: spread a dataset across four simulated AP boards with the
+// Sharded backend, answer query batches asynchronously with SearchBatch,
+// and compare the modeled multi-board time against a single board — the
+// data-parallel scaling story the paper's partial-reconfiguration engine
+// (§III-C) builds toward.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,34 +14,39 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 32k binary codes of 128 bits: a 32-configuration sweep on one board.
 	ds := apknn.RandomDataset(7, 32<<10, 128)
 
 	// One board, as the paper evaluates: the configuration sweep is serial.
-	serial, err := apknn.NewSearcher(ds, apknn.Options{Exact: true})
+	serial, err := apknn.Open(ds, apknn.WithBackend(apknn.Fast))
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Four boards: each owns a quarter of the configurations and streams
-	// concurrently; the host merges the per-board top-k lists.
-	sharded, err := apknn.NewSearcher(ds, apknn.Options{Exact: true, Boards: 4})
+	// The Sharded backend: four boards by default, each owning a quarter of
+	// the configurations and streaming concurrently; the host merges the
+	// per-board top-k lists.
+	sharded, err := apknn.Open(ds, apknn.WithBackend(apknn.Sharded), apknn.WithBoards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := sharded.Stats()
 	fmt.Printf("dataset: %d vectors x %d bits, %d board configurations\n",
-		ds.Len(), ds.Dim(), serial.Partitions())
+		ds.Len(), ds.Dim(), serial.Stats().Partitions)
 	fmt.Printf("sharded across %d boards (%d configurations each)\n",
-		sharded.Boards(), sharded.Partitions()/sharded.Boards())
+		st.Boards, st.Partitions/st.Boards)
 
 	// Submit three query batches asynchronously; encoding of the next
 	// batch overlaps board streaming of the current one, and results
-	// arrive in submission order.
+	// arrive in submission order. Canceling ctx would abort the pipeline
+	// at the next batch boundary.
 	batches := [][]apknn.Vector{
 		apknn.RandomQueries(11, 8, 128),
 		apknn.RandomQueries(12, 8, 128),
 		apknn.RandomQueries(13, 8, 128),
 	}
-	for res := range sharded.QueryBatch(batches, 5) {
+	for res := range sharded.SearchBatch(ctx, batches, 5) {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
@@ -51,7 +58,7 @@ func main() {
 	// The serial board answers the same batches for the modeled-time
 	// comparison; results are byte-identical.
 	for _, qs := range batches {
-		if _, err := serial.Query(qs, 5); err != nil {
+		if _, err := serial.Search(ctx, qs, 5); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,35 @@
+// Package aperr declares the typed sentinel errors shared by every engine
+// and backend in this repository. Callers match them with errors.Is; the
+// public package re-exports them (apknn.ErrBadK and friends) so API users
+// never import an internal path.
+package aperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrDimMismatch reports a query whose dimensionality differs from the
+	// dataset (or stream layout) it is searched against.
+	ErrDimMismatch = errors.New("dimension mismatch")
+	// ErrEmptyDataset reports an attempt to compile an index over no vectors.
+	ErrEmptyDataset = errors.New("empty dataset")
+	// ErrBadK reports a non-positive neighbor count.
+	ErrBadK = errors.New("k must be positive")
+	// ErrCanceled reports a query aborted by its context. The wrapped error
+	// carries the context's own cause (context.Canceled or DeadlineExceeded).
+	ErrCanceled = errors.New("query canceled")
+	// ErrUnknownBackend reports a backend kind with no registered
+	// implementation.
+	ErrUnknownBackend = errors.New("unknown backend")
+)
+
+// Canceled wraps ErrCanceled with the context's cause so errors.Is matches
+// the sentinel while the message still says why the query stopped.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %v", ErrCanceled, cause)
+}

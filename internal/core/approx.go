@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ap"
@@ -84,12 +85,12 @@ func (e *ApproxEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, 
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryEncoded(batch, k)
+	return e.QueryEncoded(context.Background(), batch, k)
 }
 
 // QueryEncoded answers a pre-encoded batch (see Engine.QueryEncoded).
-func (e *ApproxEngine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
-	return queryPartitions(e.board, e.partitions, e.layout, batch, k)
+func (e *ApproxEngine) QueryEncoded(ctx context.Context, batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+	return queryPartitions(ctx, e.board, e.partitions, e.layout, batch, k)
 }
 
 // ReportsDelivered returns how many report records the board has emitted so

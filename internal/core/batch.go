@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/ap"
+	"repro/internal/aperr"
 	"repro/internal/automata"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
@@ -46,7 +48,7 @@ func ValidateBatch(queries []bitvec.Vector, l Layout) (*EncodedBatch, error) {
 func ValidateQueries(queries []bitvec.Vector, l Layout) error {
 	for i, q := range queries {
 		if q.Dim() != l.Dim {
-			return fmt.Errorf("core: query %d has dim %d, want %d", i, q.Dim(), l.Dim)
+			return fmt.Errorf("core: query %d has dim %d, want %d: %w", i, q.Dim(), l.Dim, aperr.ErrDimMismatch)
 		}
 	}
 	return nil
@@ -141,14 +143,18 @@ func compilePartitions(cfg ap.DeviceConfig, ds *bitvec.Dataset, capacity int, wh
 // the board-backed engines: reconfigure the board once per precompiled
 // partition, stream the batch, decode the reports into per-query neighbor
 // lists, and merge each partition's top-k into the running result on the
-// host (§III-C).
-func queryPartitions(board *ap.Board, parts []partition, l Layout, batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+// host (§III-C). Cancellation is checked between partitions — one
+// reconfigure-and-stream pass is the unit of preemption.
+func queryPartitions(ctx context.Context, board *ap.Board, parts []partition, l Layout, batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, fmt.Errorf("core: got k=%d: %w", k, aperr.ErrBadK)
 	}
 	results := make([][]knn.Neighbor, batch.Len())
 	stream := batch.Stream(l)
 	for _, p := range parts {
+		if err := ctx.Err(); err != nil {
+			return nil, aperr.Canceled(err)
+		}
 		if err := board.ConfigurePlaced(p.net, p.placement); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ap"
 	"repro/internal/automata"
 	"repro/internal/bitvec"
@@ -87,11 +89,12 @@ func (e *Engine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryEncoded(batch, k)
+	return e.QueryEncoded(context.Background(), batch, k)
 }
 
 // QueryEncoded answers a pre-encoded batch, letting pipelined drivers encode
-// the stream once and reuse it across boards and partitions.
-func (e *Engine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
-	return queryPartitions(e.board, e.partitions, e.layout, batch, k)
+// the stream once and reuse it across boards and partitions. Cancellation of
+// ctx aborts the configuration sweep at the next partition boundary.
+func (e *Engine) QueryEncoded(ctx context.Context, batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+	return queryPartitions(ctx, e.board, e.partitions, e.layout, batch, k)
 }

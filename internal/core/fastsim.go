@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
 )
@@ -58,19 +60,23 @@ func (f *FastEngine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, er
 	if err != nil {
 		return nil, err
 	}
-	return f.QueryEncoded(batch, k)
+	return f.QueryEncoded(context.Background(), batch, k)
 }
 
 // QueryEncoded answers a pre-validated batch without re-checking dimensions;
 // the symbol stream, if any, is ignored — this engine models the board
-// semantics directly from Hamming distances.
-func (f *FastEngine) QueryEncoded(batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
+// semantics directly from Hamming distances. Like the board-backed sweep,
+// cancellation is honored at partition boundaries.
+func (f *FastEngine) QueryEncoded(ctx context.Context, batch *EncodedBatch, k int) ([][]knn.Neighbor, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, fmt.Errorf("core: got k=%d: %w", k, aperr.ErrBadK)
 	}
 	queries := batch.Queries()
 	results := make([][]knn.Neighbor, len(queries))
 	for _, r := range PartitionRanges(f.ds.Len(), f.capacity) {
+		if err := ctx.Err(); err != nil {
+			return nil, aperr.Canceled(err)
+		}
 		lo, hi := r[0], r[1]
 		part := f.ds.Slice(lo, hi)
 		for qi, q := range queries {

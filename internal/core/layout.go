@@ -31,7 +31,7 @@ const (
 // levels the Hamming macro uses, how long the sort phase runs, and therefore
 // at which cycle a vector of a given inverted Hamming distance reports.
 //
-// Reproduction note (see DESIGN.md): with the paper's Fig. 2c/3 layout the
+// Reproduction note (see README.md): with the paper's Fig. 2c/3 layout the
 // sort state's first counter increment coincides with the final collector
 // flush, so whether the last dimension matched shifts the report cycle by
 // one and adjacent distances can collide. The default layout therefore

@@ -194,7 +194,7 @@ func TestFig4TemporalOrder(t *testing.T) {
 }
 
 // TestFig4PaperLayoutHazard pins down the reproduction finding documented in
-// DESIGN.md: under the paper's own Fig. 2c/3 timing, the sort state's first
+// README.md: under the paper's own Fig. 2c/3 timing, the sort state's first
 // increment overlaps the final collector flush, so A (IHD 3, final dimension
 // matched) and B (IHD 2, final dimension unmatched) report on the SAME
 // cycle, contradicting the strict order Fig. 4 depicts. The default layout

@@ -65,7 +65,7 @@ const (
 	// SuppressStrict is the paper's Table VI accounting: each group
 	// contributes only its top k'-1 distinct distance values (k'=1 delivers
 	// nothing, which is how the paper's 100%-incorrect row arises). See
-	// EXPERIMENTS.md for the discussion of the discrepancy.
+	// README.md for the discussion of the discrepancy.
 	SuppressStrict
 )
 

@@ -12,9 +12,11 @@
 package fpga
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
 )
@@ -64,7 +66,9 @@ func New(cfg Config) (*Accelerator, error) {
 // priorityQueue models the systolic hardware priority queue: a sorted
 // register file of k entries that accepts one insertion per cycle. Inserting
 // shifts worse entries down in the same cycle, exactly like the shift
-// register chain in hardware.
+// register chain in hardware. Ordering is knn.Neighbor.Less — the
+// (distance, ID) tie-break every engine in this repository shares — so the
+// queue's contents are always a (Dist, ID)-sorted prefix.
 type priorityQueue struct {
 	entries []knn.Neighbor
 	k       int
@@ -101,14 +105,18 @@ type Result struct {
 }
 
 // Search runs exact kNN for all queries and returns results plus the cycle
-// count of the modeled execution.
-func (a *Accelerator) Search(ds *bitvec.Dataset, queries []bitvec.Vector, k int) (*Result, error) {
+// count of the modeled execution. Results leave the systolic queues already
+// in the shared (distance, ID) order and are normalized through
+// knn.SortNeighbors on the way out, so they are byte-identical to the CPU
+// baseline and merge cleanly with any other engine's lists. Cancellation is
+// checked once per dataset stream pass (one batch of QueryLanes queries).
+func (a *Accelerator) Search(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector, k int) (*Result, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("fpga: k must be positive, got %d", k)
+		return nil, fmt.Errorf("fpga: got k=%d: %w", k, aperr.ErrBadK)
 	}
 	for i, q := range queries {
 		if q.Dim() != ds.Dim() {
-			return nil, fmt.Errorf("fpga: query %d dim %d != dataset dim %d", i, q.Dim(), ds.Dim())
+			return nil, fmt.Errorf("fpga: query %d dim %d != dataset dim %d: %w", i, q.Dim(), ds.Dim(), aperr.ErrDimMismatch)
 		}
 	}
 	res := &Result{Neighbors: make([][]knn.Neighbor, len(queries))}
@@ -123,6 +131,9 @@ func (a *Accelerator) Search(ds *bitvec.Dataset, queries []bitvec.Vector, k int)
 	res.Cycles = batches * perBatch
 
 	for lo := 0; lo < len(queries); lo += a.cfg.QueryLanes {
+		if err := ctx.Err(); err != nil {
+			return nil, aperr.Canceled(err)
+		}
 		hi := lo + a.cfg.QueryLanes
 		if hi > len(queries) {
 			hi = len(queries)
@@ -141,6 +152,7 @@ func (a *Accelerator) Search(ds *bitvec.Dataset, queries []bitvec.Vector, k int)
 		for qi := range lanes {
 			out := make([]knn.Neighbor, len(lanes[qi].entries))
 			copy(out, lanes[qi].entries)
+			knn.SortNeighbors(out) // systolic order is already (Dist, ID); normalize regardless
 			res.Neighbors[lo+qi] = out
 		}
 	}

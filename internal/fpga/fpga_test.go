@@ -1,6 +1,7 @@
 package fpga
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestSearchMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := acc.Search(ds, queries, 5)
+	res, err := acc.Search(context.Background(), ds, queries, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,10 +91,53 @@ func TestValidation(t *testing.T) {
 	acc, _ := New(DefaultConfig())
 	rng := stats.NewRNG(1)
 	ds := bitvec.RandomDataset(rng, 4, 32)
-	if _, err := acc.Search(ds, []bitvec.Vector{bitvec.Random(rng, 32)}, 0); err == nil {
+	if _, err := acc.Search(context.Background(), ds, []bitvec.Vector{bitvec.Random(rng, 32)}, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := acc.Search(ds, []bitvec.Vector{bitvec.Random(rng, 64)}, 1); err == nil {
+	if _, err := acc.Search(context.Background(), ds, []bitvec.Vector{bitvec.Random(rng, 64)}, 1); err == nil {
 		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestSearchTieBreakMatchesExact forces heavy distance ties — 8-bit codes
+// over 300 vectors guarantee many duplicates — and requires the systolic
+// priority queues to deliver exactly the CPU scan's (distance, ID) order.
+// A k larger than one lane's queue and a ragged final batch are included.
+func TestSearchTieBreakMatchesExact(t *testing.T) {
+	rng := stats.NewRNG(13)
+	ds := bitvec.RandomDataset(rng, 300, 8)
+	queries := make([]bitvec.Vector, 21) // ragged: 16-lane batch + 5
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, 8)
+	}
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acc.Search(context.Background(), ds, queries, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knn.Batch(ds, queries, 12, 1)
+	for qi := range queries {
+		if len(res.Neighbors[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(res.Neighbors[qi]), len(want[qi]))
+		}
+		for j := range want[qi] {
+			if res.Neighbors[qi][j] != want[qi][j] {
+				t.Errorf("query %d rank %d: fpga %v, exact %v", qi, j, res.Neighbors[qi][j], want[qi][j])
+			}
+		}
+	}
+}
+
+func TestSearchCanceled(t *testing.T) {
+	rng := stats.NewRNG(14)
+	ds := bitvec.RandomDataset(rng, 64, 16)
+	acc, _ := New(DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := acc.Search(ctx, ds, []bitvec.Vector{bitvec.Random(rng, 16)}, 2); err == nil {
+		t.Error("canceled context accepted")
 	}
 }

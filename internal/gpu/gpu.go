@@ -8,13 +8,15 @@
 // independent of dimensionality ("poor blocking of the binarized data" —
 // the 1-bit-per-dimension vectors make the kernel's memory accesses too fine
 // grained to reach bandwidth). The model reproduces both generations'
-// published numbers within ~25% (see EXPERIMENTS.md).
+// published numbers within ~25% (see the calibration notes in README.md).
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
 )
@@ -75,13 +77,25 @@ type Result struct {
 }
 
 // Search computes exact kNN for the batch (the CUDA kernel is exact) and
-// attaches the modeled execution time.
-func (d *Device) Search(ds *bitvec.Dataset, queries []bitvec.Vector, k int) (*Result, error) {
+// attaches the modeled execution time. Results flow through the same
+// (distance, ID) tie-break as every other engine — the host-side sort the
+// kernel's unordered distance matrix would be fed through — so they are
+// byte-identical to the CPU baseline.
+func (d *Device) Search(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector, k int) (*Result, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("gpu: k must be positive, got %d", k)
+		return nil, fmt.Errorf("gpu: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	for i, q := range queries {
+		if q.Dim() != ds.Dim() {
+			return nil, fmt.Errorf("gpu: query %d dim %d != dataset dim %d: %w", i, q.Dim(), ds.Dim(), aperr.ErrDimMismatch)
+		}
+	}
+	neighbors, err := knn.BatchContext(ctx, ds, queries, k, d.cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
-		Neighbors: knn.Batch(ds, queries, k, d.cfg.Workers),
+		Neighbors: neighbors,
 		Time:      d.ModelTime(ds.Len(), len(queries)),
 	}, nil
 }

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestSearchMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Search(ds, queries, 4)
+	res, err := dev.Search(context.Background(), ds, queries, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,56 @@ func TestValidation(t *testing.T) {
 	}
 	dev, _ := New(TitanX())
 	rng := stats.NewRNG(1)
-	if _, err := dev.Search(bitvec.RandomDataset(rng, 4, 16), []bitvec.Vector{bitvec.Random(rng, 16)}, 0); err == nil {
+	if _, err := dev.Search(context.Background(), bitvec.RandomDataset(rng, 4, 16), []bitvec.Vector{bitvec.Random(rng, 16)}, 0); err == nil {
 		t.Error("k=0 accepted")
+	}
+	if _, err := dev.Search(context.Background(), bitvec.RandomDataset(rng, 4, 16), []bitvec.Vector{bitvec.Random(rng, 32)}, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestSearchTieBreakMatchesExact forces heavy distance ties — 8-bit codes
+// over 300 vectors guarantee many duplicates — and requires the GPU model's
+// results to be byte-identical to the exact CPU scan, including the shared
+// (distance, ID) tie-break order. knn.Batch is the scan behind the public
+// ExactSearch reference.
+func TestSearchTieBreakMatchesExact(t *testing.T) {
+	rng := stats.NewRNG(7)
+	ds := bitvec.RandomDataset(rng, 300, 8)
+	queries := make([]bitvec.Vector, 9)
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, 8)
+	}
+	for _, cfg := range []Config{TegraK1(), TitanX()} {
+		dev, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Search(context.Background(), ds, queries, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := knn.Batch(ds, queries, 12, 1)
+		for qi := range queries {
+			if len(res.Neighbors[qi]) != len(want[qi]) {
+				t.Fatalf("%s query %d: %d results, want %d", cfg.Name, qi, len(res.Neighbors[qi]), len(want[qi]))
+			}
+			for j := range want[qi] {
+				if res.Neighbors[qi][j] != want[qi][j] {
+					t.Errorf("%s query %d rank %d: gpu %v, exact %v", cfg.Name, qi, j, res.Neighbors[qi][j], want[qi][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchCanceled(t *testing.T) {
+	rng := stats.NewRNG(8)
+	ds := bitvec.RandomDataset(rng, 64, 16)
+	dev, _ := New(TitanX())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dev.Search(ctx, ds, []bitvec.Vector{bitvec.Random(rng, 16)}, 2); err == nil {
+		t.Error("canceled context accepted")
 	}
 }

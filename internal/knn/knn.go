@@ -8,11 +8,13 @@ package knn
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
 
+	"repro/internal/aperr"
 	"repro/internal/bitvec"
 )
 
@@ -228,14 +230,26 @@ func MergeTopK(a, b []Neighbor, k int) []Neighbor {
 }
 
 // Batch answers many queries with query-level parallelism (§II-A): each
-// worker owns a contiguous range of queries and runs the full scan for it.
+// worker pulls queries from a shared feed and runs the full scan for them.
 func Batch(ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) [][]Neighbor {
+	out, _ := BatchContext(context.Background(), ds, queries, k, workers)
+	return out
+}
+
+// BatchContext is Batch with cancellation: workers stop picking up queries
+// once ctx is canceled (a scan already underway finishes its query), and
+// the call returns an error wrapping aperr.ErrCanceled instead of a
+// partially filled result set.
+func BatchContext(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) ([][]Neighbor, error) {
 	out := make([][]Neighbor, len(queries))
 	if workers <= 1 {
 		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, aperr.Canceled(err)
+			}
 			out[i] = Linear(ds, q, k)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -244,16 +258,27 @@ func Batch(ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) [][]Neig
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				out[i] = Linear(ds, queries[i], k)
 			}
 		}()
 	}
+feed:
 	for i := range queries {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, aperr.Canceled(err)
+	}
+	return out, nil
 }
 
 func min(a, b int) int {

@@ -3,7 +3,7 @@
 // functional simulators in this repository establish *correctness*; this
 // package reproduces the *numbers*: runtimes from per-platform cost models
 // whose few constants are fitted to the published small-dataset measurements
-// and then extrapolated (EXPERIMENTS.md audits every cell), and energy as
+// and then extrapolated (README.md documents the audit), and energy as
 // dynamic power times runtime, exactly the paper's methodology (§IV).
 package perfmodel
 

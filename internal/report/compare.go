@@ -7,7 +7,7 @@ import (
 )
 
 // Comparison records one paper-reported value next to our reproduction, so
-// EXPERIMENTS.md and the apbench output carry an explicit fidelity audit.
+// README.md and the apbench output carry an explicit fidelity audit.
 type Comparison struct {
 	Label      string
 	Paper      float64

@@ -14,11 +14,13 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/ap"
+	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/knn"
@@ -63,7 +65,7 @@ type BatchResult struct {
 // partitionEngine is the per-shard execution substrate: core.Engine on a
 // dedicated board, or core.FastEngine.
 type partitionEngine interface {
-	QueryEncoded(batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error)
+	QueryEncoded(ctx context.Context, batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error)
 	Partitions() int
 }
 
@@ -209,12 +211,15 @@ func (e *Engine) prepare(queries []bitvec.Vector) (*core.EncodedBatch, error) {
 // Query answers a batch of queries with the k nearest neighbors each, all
 // shards streaming concurrently under the worker bound. Results are
 // (distance, ID)-sorted and byte-identical to the serial engines'.
-func (e *Engine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+// Cancellation of ctx aborts the in-flight fan-out: boards stop at their
+// next partition boundary and Query returns an error wrapping
+// aperr.ErrCanceled.
+func (e *Engine) Query(ctx context.Context, queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
 	batch, err := e.prepare(queries)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(batch, k)
+	return e.run(ctx, batch, k)
 }
 
 // QueryBatch answers many batches asynchronously, pipelining query encoding
@@ -223,7 +228,14 @@ func (e *Engine) Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error)
 // returned channel in submission order; the channel is closed after the
 // last batch. The engine may be queried concurrently from multiple
 // goroutines — the shared worker bound still applies.
-func (e *Engine) QueryBatch(batches [][]bitvec.Vector, k int) <-chan BatchResult {
+//
+// Canceling ctx aborts the pipeline promptly: the in-flight batch stops at
+// its next partition boundary, every not-yet-started batch is delivered
+// with an error wrapping aperr.ErrCanceled, and the channel still closes.
+// Results delivered before the cancellation remain valid — the channel is
+// buffered for the whole submission, so a consumer can keep draining
+// completed batches after canceling.
+func (e *Engine) QueryBatch(ctx context.Context, batches [][]bitvec.Vector, k int) <-chan BatchResult {
 	type encJob struct {
 		idx   int
 		batch *core.EncodedBatch
@@ -235,32 +247,56 @@ func (e *Engine) QueryBatch(batches [][]bitvec.Vector, k int) <-chan BatchResult
 	enc := make(chan encJob, pipelineDepth)
 	out := make(chan BatchResult, len(batches))
 	go func() {
+		defer close(enc)
 		for i, qs := range batches {
+			if ctx.Err() != nil {
+				// The runner fills in canceled results for the indexes the
+				// encoder never produced.
+				return
+			}
 			b, err := e.prepare(qs)
-			enc <- encJob{idx: i, batch: b, err: err}
+			select {
+			case enc <- encJob{idx: i, batch: b, err: err}:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(enc)
 	}()
 	go func() {
+		defer close(out)
+		next := 0
 		for j := range enc {
+			if j.err == nil && ctx.Err() != nil {
+				j.err = aperr.Canceled(ctx.Err())
+			}
 			if j.err != nil {
 				out <- BatchResult{Batch: j.idx, Err: j.err}
-				continue
+			} else {
+				res, err := e.run(ctx, j.batch, k)
+				out <- BatchResult{Batch: j.idx, Results: res, Err: err}
 			}
-			res, err := e.run(j.batch, k)
-			out <- BatchResult{Batch: j.idx, Results: res, Err: err}
+			next = j.idx + 1
 		}
-		close(out)
+		// On cancellation the encoder stops early; deliver the undone tail
+		// so consumers always see one result per submitted batch.
+		for ; next < len(batches); next++ {
+			out <- BatchResult{Batch: next, Err: aperr.Canceled(ctx.Err())}
+		}
 	}()
 	return out
 }
 
 // run fans one encoded batch out across all shards and merges the per-shard
 // top-k lists in shard order. It is the single k-validation point for both
-// Query and QueryBatch.
-func (e *Engine) run(batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error) {
+// Query and QueryBatch. A canceled ctx keeps queued shards from ever
+// acquiring a worker slot and stops streaming shards at their next
+// partition boundary.
+func (e *Engine) run(ctx context.Context, batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("shard: k must be positive, got %d", k)
+		return nil, fmt.Errorf("shard: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, aperr.Canceled(err)
 	}
 	perShard := make([][][]knn.Neighbor, len(e.shards))
 	errs := make([]error, len(e.shards))
@@ -269,12 +305,22 @@ func (e *Engine) run(batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error) 
 		wg.Add(1)
 		go func(si int, s *shard) {
 			defer wg.Done()
-			e.sem <- struct{}{}
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[si] = aperr.Canceled(ctx.Err())
+				return
+			}
 			defer func() { <-e.sem }()
-			perShard[si], errs[si] = s.query(batch, k, e.layout)
+			perShard[si], errs[si] = s.query(ctx, batch, k, e.layout)
 		}(si, s)
 	}
 	wg.Wait()
+	// The context error takes precedence: a canceled fan-out reports the
+	// cancellation, not whichever shard happened to observe it first.
+	if err := ctx.Err(); err != nil {
+		return nil, aperr.Canceled(err)
+	}
 	for si, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard: board %d: %w", si, err)
@@ -292,10 +338,10 @@ func (e *Engine) run(batch *core.EncodedBatch, k int) ([][]knn.Neighbor, error) 
 // query executes the batch on one shard, translating shard-local report IDs
 // into global dataset IDs. The shard mutex serializes board access across
 // concurrent callers; in fast mode it also guards the modeled-cost meter.
-func (s *shard) query(batch *core.EncodedBatch, k int, l core.Layout) ([][]knn.Neighbor, error) {
+func (s *shard) query(ctx context.Context, batch *core.EncodedBatch, k int, l core.Layout) ([][]knn.Neighbor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := s.engine.QueryEncoded(batch, k)
+	res, err := s.engine.QueryEncoded(ctx, batch, k)
 	if err != nil {
 		return nil, err
 	}
@@ -355,4 +401,31 @@ func (e *Engine) SymbolsStreamed() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// Reconfigs returns the total board configurations loaded across shards
+// (both modes) — the reconfiguration count the §III-C sweep charges.
+func (e *Engine) Reconfigs() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.board != nil {
+			n += s.board.Reconfigs()
+		} else {
+			n += s.reconfigs
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// BoardTimes returns every board's modeled wall-clock, index-aligned with
+// the shard order. ModeledTime is the maximum of these; the spread between
+// them shows how evenly the configuration sweep divides across the fleet.
+func (e *Engine) BoardTimes() []time.Duration {
+	out := make([]time.Duration, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.modeledTime(e.cfg)
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -13,7 +14,7 @@ import (
 	"repro/internal/stats"
 )
 
-// queryEngine answers a batch; implemented by every engine under test.
+// queryEngine answers a batch; implemented by the serial core engines.
 type queryEngine interface {
 	Query(queries []bitvec.Vector, k int) ([][]knn.Neighbor, error)
 }
@@ -21,6 +22,15 @@ type queryEngine interface {
 func mustQuery(t *testing.T, e queryEngine, queries []bitvec.Vector, k int) [][]knn.Neighbor {
 	t.Helper()
 	res, err := e.Query(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustQueryShard(t *testing.T, e *shard.Engine, queries []bitvec.Vector, k int) [][]knn.Neighbor {
+	t.Helper()
+	res, err := e.Query(context.Background(), queries, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +89,7 @@ func TestShardEquivalenceFast(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got := mustQuery(t, eng, queries, k)
+					got := mustQueryShard(t, eng, queries, k)
 					assertIdentical(t,
 						labelOf("fast", c.dim, capacity, k, boards), got, want)
 				}
@@ -126,7 +136,7 @@ func TestShardEquivalenceSimulated(t *testing.T) {
 			if eng.Partitions() != serial.Partitions() {
 				t.Fatalf("sharded partitions = %d, serial = %d", eng.Partitions(), serial.Partitions())
 			}
-			got := mustQuery(t, eng, queries, c.k)
+			got := mustQueryShard(t, eng, queries, c.k)
 			assertIdentical(t, labelOf("sim", c.dim, c.capacity, c.k, boards), got, want)
 		}
 	}
@@ -154,7 +164,7 @@ func TestShardModeledTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mustQuery(t, eng, queries, k)
+		mustQueryShard(t, eng, queries, k)
 		got := eng.ModeledTime()
 		if got <= 0 || got >= serialTime {
 			t.Errorf("boards=%d: modeled time %v, want in (0, %v)", boards, got, serialTime)
@@ -177,7 +187,7 @@ func TestShardModeledTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mustQuery(t, fastSerial, queries, k)
+	mustQueryShard(t, fastSerial, queries, k)
 	if got := fastSerial.ModeledTime(); got != serialTime {
 		t.Errorf("fast 1-board modeled time %v, want %v (the board's own accounting)", got, serialTime)
 	}
@@ -185,7 +195,7 @@ func TestShardModeledTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mustQuery(t, fast4, queries, k)
+	mustQueryShard(t, fast4, queries, k)
 	if got := fast4.ModeledTime(); got <= 0 || got >= serialTime {
 		t.Errorf("fast 4-board modeled time %v, want in (0, %v)", got, serialTime)
 	}
@@ -242,7 +252,7 @@ func TestQueryBatchOrderAndErrors(t *testing.T) {
 	good2 := []bitvec.Vector{bitvec.Random(rng, 32), bitvec.Random(rng, 32)}
 
 	i := 0
-	for res := range eng.QueryBatch([][]bitvec.Vector{good0, bad, good2}, 4) {
+	for res := range eng.QueryBatch(context.Background(), [][]bitvec.Vector{good0, bad, good2}, 4) {
 		if res.Batch != i {
 			t.Fatalf("batch %d delivered at position %d", res.Batch, i)
 		}
@@ -268,7 +278,7 @@ func TestQueryBatchOrderAndErrors(t *testing.T) {
 		t.Fatalf("received %d results, want 3", i)
 	}
 
-	for res := range eng.QueryBatch([][]bitvec.Vector{good0}, 0) {
+	for res := range eng.QueryBatch(context.Background(), [][]bitvec.Vector{good0}, 0) {
 		if res.Err == nil {
 			t.Fatal("k=0 accepted")
 		}
@@ -312,7 +322,7 @@ func TestConcurrentQueryBatch(t *testing.T) {
 				go func() {
 					defer wg.Done()
 					batches := [][]bitvec.Vector{queries, queries}
-					for res := range eng.QueryBatch(batches, k) {
+					for res := range eng.QueryBatch(context.Background(), batches, k) {
 						if res.Err != nil {
 							errs <- res.Err
 							return

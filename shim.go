@@ -1,0 +1,100 @@
+package apknn
+
+import (
+	"context"
+	"time"
+)
+
+// Options configures a Searcher.
+//
+// Deprecated: Options is the pre-Backend flat configuration. Use Open with
+// functional options (WithBackend, WithBoards, WithGeneration, ...), which
+// reaches every compute platform instead of only the AP engines.
+type Options struct {
+	// Generation of the modeled board (default Gen2).
+	Generation Generation
+	// Capacity overrides vectors per board configuration (default: the
+	// paper's §V-A capacities — 1024 for d <= 128, 512 above).
+	Capacity int
+	// Exact switches to the semantics-equivalent fast engine, which returns
+	// identical results without cycle-accurate simulation. Use it for large
+	// datasets; the default simulator engine exercises the real automata.
+	Exact bool
+	// Boards shards the dataset across this many simulated boards (default
+	// 1). Each board owns a disjoint slice of the dataset, all boards
+	// stream every query batch concurrently, and the host merges their
+	// top-k lists — so results are identical to a single board while the
+	// modeled time becomes the maximum across boards instead of the sum
+	// over the configuration sweep.
+	Boards int
+	// Workers bounds how many boards stream concurrently (default: one
+	// worker per board).
+	Workers int
+}
+
+// Searcher answers kNN queries against a fixed dataset using the paper's
+// automata design. It is safe for concurrent use.
+//
+// Deprecated: use the Index returned by Open, whose Search/SearchBatch
+// accept a context.Context for cancellation. Searcher remains a thin shim
+// over the same engine and will be removed after one release.
+type Searcher struct {
+	idx *shardIndex
+}
+
+// NewSearcher builds the kNN automata for ds and precompiles its board
+// images.
+//
+// Deprecated: use Open. NewSearcher(ds, Options{Exact: true, Boards: 4}) is
+// Open(ds, WithBackend(Fast), WithBoards(4)); the zero Options value is
+// Open(ds) — the cycle-accurate AP backend.
+func NewSearcher(ds *Dataset, opts Options) (*Searcher, error) {
+	kind := AP
+	if opts.Exact {
+		kind = Fast
+	}
+	idx, err := Open(ds,
+		WithBackend(kind),
+		WithGeneration(opts.Generation),
+		WithCapacity(opts.Capacity),
+		WithBoards(opts.Boards),
+		WithWorkers(opts.Workers),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{idx: idx.(*shardIndex)}, nil
+}
+
+// Query returns the k nearest neighbors of each query, (distance, ID)-sorted
+// with deterministic tie-breaks.
+//
+// Deprecated: use Index.Search, which accepts a context.
+func (s *Searcher) Query(queries []Vector, k int) ([][]Neighbor, error) {
+	return s.idx.Search(context.Background(), queries, k)
+}
+
+// QueryBatch answers many query batches asynchronously, pipelining query
+// encoding against board streaming and report decoding. Results arrive on
+// the returned channel in submission order; the channel closes after the
+// last batch. Multiple goroutines may call QueryBatch (and Query)
+// concurrently on one Searcher.
+//
+// Deprecated: use Index.SearchBatch, which accepts a context.
+func (s *Searcher) QueryBatch(batches [][]Vector, k int) <-chan BatchResult {
+	return s.idx.SearchBatch(context.Background(), batches, k)
+}
+
+// Partitions reports how many board configurations the dataset spans.
+func (s *Searcher) Partitions() int { return s.idx.Partitions() }
+
+// Boards reports how many boards the dataset is sharded across.
+func (s *Searcher) Boards() int { return s.idx.Boards() }
+
+// ModeledTime returns the modeled AP wall-clock estimate (streaming at
+// 133 MHz plus partial reconfigurations), taken as the maximum across
+// boards since they stream concurrently. The exact engine charges the same
+// analytic model.
+func (s *Searcher) ModeledTime() time.Duration {
+	return s.idx.ModeledTime()
+}

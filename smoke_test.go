@@ -39,7 +39,25 @@ func TestSmokeBinaries(t *testing.T) {
 				"4 board configuration(s)",
 				"across 2 board(s)",
 				"AP result agreement with exact CPU scan: 2/2 queries",
-				"modeled AP time",
+				"modeled ap time",
+			},
+		},
+		{
+			name: "apknn-backend-gpu",
+			pkg:  "./cmd/apknn",
+			args: []string{"-n", "64", "-dim", "16", "-q", "2", "-k", "2", "-backend", "gpu", "-gpu", "tegrak1"},
+			want: []string{
+				"AP result agreement with exact CPU scan: 2/2 queries",
+				"modeled gpu time",
+			},
+		},
+		{
+			name: "apknn-backend-approx",
+			pkg:  "./cmd/apknn",
+			args: []string{"-n", "200", "-dim", "16", "-q", "2", "-k", "2", "-backend", "approx", "-index", "kmeans", "-capacity", "32"},
+			want: []string{
+				"on backend \"approx\"",
+				"recall@2 vs exact CPU scan:",
 			},
 		},
 		{
@@ -49,10 +67,24 @@ func TestSmokeBinaries(t *testing.T) {
 			want: []string{"Table I: evaluated platforms", "Automata Processor"},
 		},
 		{
+			name: "apbench-backends",
+			pkg:  "./cmd/apbench",
+			args: []string{"-exp", "backends"},
+			want: []string{
+				"Cross-platform backends",
+				"ap (Gen 2 sim)",
+				"fpga (Kintex-7 model)",
+				"approx (MPLSH)",
+			},
+		},
+		{
 			name: "apcompile",
 			pkg:  "./cmd/apcompile",
-			args: []string{"-n", "8", "-dim", "16"},
-			want: []string{"design: 8 vectors x 16 dims", "STEs"},
+			args: []string{"-n", "8", "-dim", "16", "-verify"},
+			want: []string{
+				"design: 8 vectors x 16 dims", "STEs",
+				"verify: AP backend matches exact scan",
+			},
 		},
 		{
 			name: "aptrace",

@@ -1,0 +1,79 @@
+package apknn
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aperr"
+)
+
+// Stats is a point-in-time snapshot of an Index's serving counters. Fields
+// that do not apply to a backend are zero — only the board-backed backends
+// stream symbols, only Approx prunes candidates.
+type Stats struct {
+	// Backend that produced this snapshot.
+	Backend BackendKind
+	// Boards in the fleet (board-backed backends; 1 for the single-device
+	// models).
+	Boards int
+	// Partitions is the total board configurations the dataset spans.
+	Partitions int
+	// Queries served since Open.
+	Queries int64
+	// Batches answered through Search and SearchBatch since Open.
+	Batches int64
+	// SymbolsStreamed is the total symbol cycles streamed across boards.
+	SymbolsStreamed int64
+	// Reconfigs is the total board configurations loaded (§III-C sweeps).
+	Reconfigs int64
+	// CandidatesScanned is the total query/candidate distance pairs the
+	// backend actually evaluated (CPU/GPU/FPGA scan everything; Approx
+	// scans only probed buckets).
+	CandidatesScanned int64
+	// PerBoardTime is each board's modeled wall-clock, shard-ordered.
+	// ModeledTime is its maximum for the fleet backends.
+	PerBoardTime []time.Duration
+}
+
+// counters is the query/batch accounting embedded by every built-in index.
+type counters struct {
+	queries atomic.Int64
+	batches atomic.Int64
+}
+
+func (c *counters) countSearch(queries int) {
+	c.queries.Add(int64(queries))
+	c.batches.Add(1)
+}
+
+// snapshot fills the shared fields of a Stats.
+func (c *counters) snapshot(kind BackendKind) Stats {
+	return Stats{
+		Backend: kind,
+		Queries: c.queries.Load(),
+		Batches: c.batches.Load(),
+	}
+}
+
+// sequentialBatches implements SearchBatch for backends without a pipelined
+// driver: batches run one after another through search, results are
+// delivered in submission order on a fully buffered channel, and a canceled
+// context turns every remaining batch into an ErrCanceled result — the same
+// contract the sharded pipeline honors.
+func sequentialBatches(ctx context.Context, batches [][]Vector, k int,
+	search func(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error)) <-chan BatchResult {
+	out := make(chan BatchResult, len(batches))
+	go func() {
+		defer close(out)
+		for i, qs := range batches {
+			if err := ctx.Err(); err != nil {
+				out <- BatchResult{Batch: i, Err: aperr.Canceled(err)}
+				continue
+			}
+			res, err := search(ctx, qs, k)
+			out <- BatchResult{Batch: i, Results: res, Err: err}
+		}
+	}()
+	return out
+}
