@@ -2,7 +2,7 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve)
 //	apbench -all              # everything
 package main
 
@@ -10,7 +10,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	apknn "repro"
@@ -20,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -27,7 +32,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	flag.Parse()
@@ -36,7 +41,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve"} {
 			runExperiment(e)
 		}
 		return
@@ -159,6 +164,8 @@ func runExperiment(name string) {
 		shardExperiment()
 	case "backends":
 		backendsExperiment()
+	case "serve":
+		serveExperiment()
 	default:
 		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
 		os.Exit(2)
@@ -301,6 +308,137 @@ func backendsExperiment() {
 			fmt.Sprintf("%.2f", recall/float64(len(queries))), identical)
 	}
 	tb.Render(os.Stdout)
+}
+
+// serveExperiment is the serving-layer load test: an in-process apserve
+// over the sharded fleet, hammered by closed-loop HTTP clients across a
+// concurrency x batch-window sweep. The point is the paper's batching
+// argument replayed online: one-query-per-call serving (window 0) pays a
+// full reconfiguration sweep per request, while the dynamic micro-batcher
+// coalesces concurrent requests into shared sweeps — higher modeled fleet
+// throughput at a latency cost bounded by the window.
+func serveExperiment() {
+	const (
+		n, dim, k     = 1 << 15, 64, 8
+		reqsPerClient = 40
+		maxBatch      = 64
+	)
+	windows := []time.Duration{0, 2 * time.Millisecond}
+	concs := []int{4, 16, 32}
+
+	tb := report.NewTable(
+		fmt.Sprintf("HTTP serving: dynamic micro-batching on sharded x4 (n=%d, d=%d, k=%d, %d reqs/client)",
+			n, dim, k, reqsPerClient),
+		"window", "clients", "mean batch", "fleet QPS (modeled)", "host QPS", "p50", "p99")
+	for _, window := range windows {
+		for _, conc := range concs {
+
+			cell, err := runServeCell(n, dim, k, maxBatch, reqsPerClient, window, conc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				os.Exit(1)
+			}
+			tb.Row(window, conc,
+				fmt.Sprintf("%.2f", cell.meanBatch),
+				fmt.Sprintf("%.0f", cell.fleetQPS),
+				fmt.Sprintf("%.0f", cell.hostQPS),
+				cell.p50.Round(time.Microsecond),
+				cell.p99.Round(time.Microsecond))
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("fleet QPS (modeled) = queries / modeled AP fleet time: coalesced flushes share one")
+	fmt.Println("reconfiguration sweep per batch, so the window converts concurrency into throughput.")
+}
+
+type serveCell struct {
+	meanBatch float64
+	fleetQPS  float64
+	hostQPS   float64
+	p50, p99  time.Duration
+}
+
+// runServeCell serves one (window, concurrency) point on a fresh index and
+// in-process HTTP server so the modeled-time and batcher counters belong
+// to this cell alone.
+func runServeCell(n, dim, k, maxBatch, reqsPerClient int, window time.Duration, conc int) (serveCell, error) {
+	ds := apknn.RandomDataset(777, n, dim)
+	idx, err := apknn.Open(ds, apknn.WithBackend(apknn.Sharded), apknn.WithBoards(4))
+	if err != nil {
+		return serveCell{}, err
+	}
+	srv := serve.New(idx, serve.Config{
+		MaxBatch:    maxBatch,
+		BatchWindow: window,
+		MaxInFlight: 4 * conc * reqsPerClient, // admission is not under test here
+		Dim:         dim,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveCell{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	// A per-cell transport so this cell's connection pool dies with it: a
+	// pooled conn the transport dialed but never used would otherwise sit
+	// in StateNew on the server and stall Shutdown's idle-conn sweep.
+	transport := &http.Transport{MaxIdleConnsPerHost: conc}
+	client := serve.Client{
+		BaseURL:    "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{Transport: transport},
+	}
+
+	queries := apknn.RandomQueries(778, conc*reqsPerClient, dim)
+	latencies := make([][]time.Duration, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, reqsPerClient)
+			for r := 0; r < reqsPerClient; r++ {
+				q := queries[c*reqsPerClient+r]
+				t0 := time.Now()
+				if _, err := client.Search(context.Background(), q, k); err != nil {
+					fmt.Fprintln(os.Stderr, "apbench: serve client:", err)
+					os.Exit(1)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	transport.CloseIdleConnections()
+
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(closeCtx); err != nil {
+		return serveCell{}, fmt.Errorf("listener shutdown: %w", err)
+	}
+	if err := srv.Close(closeCtx); err != nil {
+		return serveCell{}, fmt.Errorf("serving drain: %w", err)
+	}
+
+	all := make([]time.Duration, 0, conc*reqsPerClient)
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := float64(len(all))
+	modeled := idx.ModeledTime()
+	cell := serveCell{
+		meanBatch: srv.Stats().MeanBatch,
+		hostQPS:   total / wall.Seconds(),
+		p50:       all[len(all)/2],
+		p99:       all[len(all)*99/100],
+	}
+	if modeled > 0 {
+		cell.fleetQPS = total / modeled.Seconds()
+	}
+	return cell, nil
 }
 
 // muxExperiment demonstrates §VI-B: seven queries per stream pass at 7x the

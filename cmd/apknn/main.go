@@ -34,6 +34,7 @@ func main() {
 	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
 	boards := flag.Int("boards", 0, "shard the dataset across this many boards (0 = backend default)")
 	workers := flag.Int("workers", 0, "host-side parallelism (0 = backend default)")
+	timeout := flag.Duration("timeout", 0, "query deadline, e.g. 500ms (0 = none); the same context path apserve enforces per request")
 	verbose := flag.Bool("v", false, "print each query's neighbors")
 	flag.Parse()
 
@@ -90,15 +91,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Ctrl-C cancels the in-flight batch instead of killing the process.
+	// Ctrl-C cancels the in-flight batch instead of killing the process;
+	// -timeout additionally bounds the whole query with a deadline.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	results, err := idx.Search(ctx, queries, *k)
 	if err != nil {
-		if errors.Is(err, apknn.ErrCanceled) {
+		switch {
+		case errors.Is(err, apknn.ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "apknn: timed out after %v: %v\n", *timeout, err)
+		case errors.Is(err, apknn.ErrCanceled):
 			fmt.Fprintln(os.Stderr, "apknn: interrupted:", err)
-		} else {
+		default:
 			fmt.Fprintln(os.Stderr, "apknn:", err)
 		}
 		os.Exit(1)

@@ -1,0 +1,111 @@
+// Command apserve exposes any registered backend over the /v1 HTTP JSON
+// API with dynamic micro-batching: concurrent single-query requests are
+// coalesced into one backend call per batch window, recreating online the
+// large batches the paper's offline evaluation streams (§II-A, §III-C).
+//
+//	apserve -addr :8080 -backend sharded -boards 4 -n 65536 -dim 64
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/search \
+//	    -d '{"query":"1011...","k":4}'
+//	curl -s localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
+// and queued micro-batches finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	apknn "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backend := flag.String("backend", "sharded", "compute backend: ap, fast, sharded, cpu, gpu, fpga, approx")
+	n := flag.Int("n", 1<<16, "synthetic dataset size")
+	dim := flag.Int("dim", 64, "code dimensionality")
+	seed := flag.Uint64("seed", 42, "dataset random seed")
+	gen := flag.Int("gen", 2, "AP generation (1 or 2)")
+	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
+	boards := flag.Int("boards", 0, "boards to shard across (0 = backend default)")
+	workers := flag.Int("workers", 0, "host-side parallelism (0 = backend default)")
+	maxBatch := flag.Int("batch", 32, "micro-batch size cap (flush when this many queries are pending)")
+	window := flag.Duration("batch-window", serve.DefaultBatchWindow,
+		"micro-batch flush deadline; 0 disables coalescing")
+	maxInFlight := flag.Int("max-inflight", 256, "admission control: concurrent requests before 429")
+	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	generation := apknn.Gen2
+	if *gen == 1 {
+		generation = apknn.Gen1
+	}
+	log.Printf("apserve: building %d x %d-bit dataset (seed %d)", *n, *dim, *seed)
+	ds := apknn.RandomDataset(*seed, *n, *dim)
+	idx, err := apknn.Open(ds,
+		apknn.WithBackend(apknn.BackendKind(*backend)),
+		apknn.WithGeneration(generation),
+		apknn.WithCapacity(*capacity),
+		apknn.WithBoards(*boards),
+		apknn.WithWorkers(*workers),
+	)
+	if err != nil {
+		log.Fatal("apserve: ", err)
+	}
+	st := idx.Stats()
+	log.Printf("apserve: backend %q ready: %d board(s), %d partition(s)",
+		st.Backend, st.Boards, st.Partitions)
+
+	srv := serve.New(idx, serve.Config{
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+		MaxInFlight: *maxInFlight,
+		DefaultK:    *defaultK,
+		Dim:         *dim,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("apserve: ", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("apserve: serving on %s (batch cap %d, window %v, max in-flight %d)",
+		ln.Addr(), *maxBatch, *window, *maxInFlight)
+
+	select {
+	case err := <-errCh:
+		log.Fatal("apserve: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("apserve: draining (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so handlers finish, then flush the batcher's
+	// remaining queue.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "apserve: shutdown:", err)
+	}
+	if err := srv.Close(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "apserve: drain:", err)
+	}
+	final := srv.Stats()
+	log.Printf("apserve: served %d requests in %d flushes (mean batch %.2f), %d rejected; bye",
+		final.Requests, final.Flushes, final.MeanBatch, final.Rejected)
+}

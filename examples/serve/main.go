@@ -1,0 +1,103 @@
+// Serving with dynamic micro-batching: an in-process apserve over the
+// sharded fleet, hit by concurrent serve.Client queries. Each client sends
+// one query per request — the worst case for an Automata Processor, which
+// wants big batches so a configuration sweep is paid once per batch — and
+// the server's micro-batcher coalesces the concurrent arrivals back into
+// shared flushes. The printed stats show the realized batch sizes and what
+// forced each flush (size cap vs. window deadline).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	apknn "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	const n, dim, k, clients, perClient = 8192, 64, 5, 16, 4
+
+	// A sharded fleet, as apserve would open it.
+	ds := apknn.RandomDataset(3, n, dim)
+	idx, err := apknn.Open(ds, apknn.WithBackend(apknn.Sharded), apknn.WithBoards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The serving layer: flush a forming batch at 32 queries or 5ms,
+	// whichever comes first.
+	srv := serve.New(idx, serve.Config{MaxBatch: 32, BatchWindow: 5 * time.Millisecond, Dim: dim})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	fmt.Printf("serving %d vectors x %d bits on http://%s\n", n, dim, ln.Addr())
+
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	client := serve.Client{
+		BaseURL:    "http://" + ln.Addr().String(),
+		HTTPClient: &http.Client{Transport: transport},
+	}
+
+	// Concurrent single-query clients; every response is checked against
+	// the exact CPU scan.
+	queries := apknn.RandomQueries(4, clients*perClient, dim)
+	exact := apknn.ExactSearch(ds, queries, k, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	flushSizes := map[int]int{}
+	mismatches := 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				qi := c*perClient + r
+				resp, err := client.Search(context.Background(), queries[qi], k)
+				if err != nil {
+					log.Fatal(err)
+				}
+				got := serve.Neighbors(resp.Neighbors)
+				ok := len(got) == len(exact[qi])
+				for j := 0; ok && j < len(got); j++ {
+					ok = got[j] == exact[qi][j]
+				}
+				mu.Lock()
+				flushSizes[resp.FlushSize]++
+				if !ok {
+					mismatches++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	transport.CloseIdleConnections()
+
+	fmt.Printf("%d clients x %d queries answered; %d mismatches vs exact scan\n",
+		clients, perClient, mismatches)
+	st := srv.Stats()
+	fmt.Printf("mean realized batch: %.2f queries/flush across %d flushes\n",
+		st.MeanBatch, st.Flushes)
+	fmt.Printf("flushes: %d by size cap, %d by window deadline; %d requests coalesced\n",
+		st.FlushesBySize, st.FlushesByDeadline, st.Coalesced)
+
+	// Graceful shutdown: stop the listener, then drain the batcher.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and shut down cleanly")
+}

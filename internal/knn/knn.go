@@ -206,8 +206,11 @@ func LinearParallel(ds *bitvec.Dataset, q bitvec.Vector, k, workers int) []Neigh
 
 // MergeTopK merges two (Dist, ID)-sorted neighbor lists, keeping the k best.
 // This is the host-side merge the partial-reconfiguration driver performs
-// across board configurations (§III-C).
+// across board configurations (§III-C). A non-positive k keeps nothing.
 func MergeTopK(a, b []Neighbor, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
 	out := make([]Neighbor, 0, min(k, len(a)+len(b)))
 	i, j := 0, 0
 	for len(out) < k && (i < len(a) || j < len(b)) {

@@ -190,3 +190,106 @@ func TestSortNeighborsStableOrder(t *testing.T) {
 		t.Errorf("SortNeighbors = %v, want %v", ns, want)
 	}
 }
+
+// refMerge is the obvious MergeTopK oracle: concatenate, sort with the
+// shared tie-break, truncate.
+func refMerge(a, b []Neighbor, k int) []Neighbor {
+	all := append(append([]Neighbor{}, a...), b...)
+	SortNeighbors(all)
+	if k < 0 {
+		k = 0
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestMergeTopKNonPositiveK(t *testing.T) {
+	a := []Neighbor{{ID: 1, Dist: 0}}
+	b := []Neighbor{{ID: 2, Dist: 1}}
+	for _, k := range []int{0, -1, -100} {
+		if got := MergeTopK(a, b, k); len(got) != 0 {
+			t.Errorf("MergeTopK(k=%d) = %v, want empty", k, got)
+		}
+	}
+}
+
+func TestMergeTopKEmptyLists(t *testing.T) {
+	a := []Neighbor{{ID: 3, Dist: 1}, {ID: 1, Dist: 2}}
+	if got := MergeTopK(a, nil, 5); !equalNeighbors(got, a) {
+		t.Errorf("MergeTopK(a, nil) = %v, want %v", got, a)
+	}
+	if got := MergeTopK(nil, a, 5); !equalNeighbors(got, a) {
+		t.Errorf("MergeTopK(nil, a) = %v, want %v", got, a)
+	}
+	if got := MergeTopK(nil, a, 1); !equalNeighbors(got, a[:1]) {
+		t.Errorf("MergeTopK(nil, a, 1) = %v, want %v", got, a[:1])
+	}
+	if got := MergeTopK(nil, nil, 3); len(got) != 0 {
+		t.Errorf("MergeTopK(nil, nil) = %v, want empty", got)
+	}
+}
+
+func TestMergeTopKLargerThanBothLists(t *testing.T) {
+	a := []Neighbor{{ID: 0, Dist: 1}, {ID: 4, Dist: 3}}
+	b := []Neighbor{{ID: 2, Dist: 2}}
+	got := MergeTopK(a, b, 100)
+	want := refMerge(a, b, 100)
+	if !equalNeighbors(got, want) {
+		t.Errorf("MergeTopK(k=100) = %v, want all %v", got, want)
+	}
+	if len(got) != 3 {
+		t.Errorf("kept %d neighbors, want all 3", len(got))
+	}
+}
+
+// TestMergeTopKTieStability: equal distances break by ID no matter which
+// side of the merge a neighbor arrives on — the property that makes every
+// board-merge order produce identical serving results.
+func TestMergeTopKTieStability(t *testing.T) {
+	a := []Neighbor{{ID: 1, Dist: 5}, {ID: 4, Dist: 5}, {ID: 9, Dist: 5}}
+	b := []Neighbor{{ID: 0, Dist: 5}, {ID: 3, Dist: 5}, {ID: 7, Dist: 5}}
+	for _, k := range []int{1, 3, 4, 6} {
+		ab := MergeTopK(a, b, k)
+		ba := MergeTopK(b, a, k)
+		want := refMerge(a, b, k)
+		if !equalNeighbors(ab, want) {
+			t.Errorf("k=%d: MergeTopK(a,b) = %v, want %v", k, ab, want)
+		}
+		if !equalNeighbors(ab, ba) {
+			t.Errorf("k=%d: merge order changed the result: %v vs %v", k, ab, ba)
+		}
+	}
+}
+
+// TestMergeTopKRandomizedAgainstOracle: random sorted inputs, k from empty
+// through oversize, both merge orders — always the oracle's answer. IDs
+// are kept disjoint (evens vs odds) so equal (Dist, ID) pairs cannot occur
+// across lists.
+func TestMergeTopKRandomizedAgainstOracle(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 200; trial++ {
+		na := int(rng.Uint64() % 8)
+		nb := int(rng.Uint64() % 8)
+		a := make([]Neighbor, na)
+		for i := range a {
+			a[i] = Neighbor{ID: 2 * int(rng.Uint64()%50), Dist: int(rng.Uint64() % 6)}
+		}
+		b := make([]Neighbor, nb)
+		for i := range b {
+			b[i] = Neighbor{ID: 2*int(rng.Uint64()%50) + 1, Dist: int(rng.Uint64() % 6)}
+		}
+		SortNeighbors(a)
+		SortNeighbors(b)
+		for _, k := range []int{0, 1, 3, na + nb, na + nb + 5} {
+			want := refMerge(a, b, k)
+			if got := MergeTopK(a, b, k); !equalNeighbors(got, want) {
+				t.Fatalf("trial %d k=%d: MergeTopK = %v, want %v (a=%v b=%v)", trial, k, got, want, a, b)
+			}
+			if got := MergeTopK(b, a, k); !equalNeighbors(got, want) {
+				t.Fatalf("trial %d k=%d reversed: MergeTopK = %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}

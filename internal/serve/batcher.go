@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apknn "repro"
+	"repro/internal/aperr"
+)
+
+// errClosed reports a submit racing a graceful shutdown; the handler maps
+// it to 503.
+var errClosed = errors.New("serve: server is shutting down")
+
+// request is one admitted /v1/search query waiting to be coalesced.
+type request struct {
+	ctx   context.Context
+	query apknn.Vector
+	k     int
+	// resp receives exactly one response; buffered so a flush never blocks
+	// on a handler that already hung up.
+	resp chan response
+}
+
+type response struct {
+	neighbors []apknn.Neighbor
+	// flushSize is the realized batch this query rode in — the number the
+	// benchmark sweeps exist to maximize.
+	flushSize int
+	err       error
+}
+
+// flushCause records what forced a flush; /v1/stats reports the split.
+type flushCause int
+
+const (
+	flushBySize flushCause = iota
+	flushByDeadline
+	flushOnClose
+)
+
+// counters is the atomically updated backing store for ServingStats.
+type counters struct {
+	requests        atomic.Int64
+	batchRequests   atomic.Int64
+	coalesced       atomic.Int64
+	flushes         atomic.Int64
+	flushesSize     atomic.Int64
+	flushesDeadline atomic.Int64
+	flushesClose    atomic.Int64
+	rejected        atomic.Int64
+	expired         atomic.Int64
+	batchedQueries  atomic.Int64
+}
+
+func (c *counters) snapshot() apknn.ServingStats {
+	st := apknn.ServingStats{
+		Requests:          c.requests.Load(),
+		BatchRequests:     c.batchRequests.Load(),
+		Coalesced:         c.coalesced.Load(),
+		Flushes:           c.flushes.Load(),
+		FlushesBySize:     c.flushesSize.Load(),
+		FlushesByDeadline: c.flushesDeadline.Load(),
+		FlushesOnClose:    c.flushesClose.Load(),
+		Rejected:          c.rejected.Load(),
+		Expired:           c.expired.Load(),
+	}
+	if st.Flushes > 0 {
+		st.MeanBatch = float64(c.batchedQueries.Load()) / float64(st.Flushes)
+	}
+	return st
+}
+
+// batcher coalesces concurrent single-query requests into one
+// Index.Search call per flush. A flush is forced when maxBatch queries are
+// pending (size flush) or when the window expires, measured from the first
+// request of the forming batch (deadline flush). A window of zero disables
+// coalescing: every request flushes alone, the one-query-per-call serving
+// shape the AP model punishes with a full reconfiguration sweep per call.
+type batcher struct {
+	idx      apknn.Index
+	maxBatch int
+	window   time.Duration
+	ctrs     *counters
+
+	in   chan *request
+	quit chan struct{} // closed by close(); submit fails fast after
+	done chan struct{} // closed when the loop has exited
+
+	mu      sync.Mutex // guards closed and the submits Add/Wait ordering
+	closed  bool
+	submits sync.WaitGroup // submit calls still in flight
+	flushes sync.WaitGroup // in-flight dispatched flushes
+}
+
+func newBatcher(idx apknn.Index, maxBatch int, window time.Duration, ctrs *counters) *batcher {
+	b := &batcher{
+		idx:      idx,
+		maxBatch: maxBatch,
+		window:   window,
+		ctrs:     ctrs,
+		in:       make(chan *request, maxBatch),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit hands a request to the batching loop, honoring the request's own
+// context while the input queue is full and failing fast once the batcher
+// is closed. A submit racing close may still win the send after the loop
+// has exited; close waits for all in-flight submits and re-drains the
+// queue, so an admitted request is never stranded unanswered.
+func (b *batcher) submit(req *request) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errClosed
+	}
+	b.submits.Add(1)
+	b.mu.Unlock()
+	defer b.submits.Done()
+	select {
+	case b.in <- req:
+		return nil
+	case <-b.quit:
+		return errClosed
+	case <-req.ctx.Done():
+		return aperr.Canceled(req.ctx.Err())
+	}
+}
+
+// loop is the single collector goroutine. Flushes are dispatched to worker
+// goroutines so the next batch keeps forming while the backend streams the
+// current one — the same pipelining the shard engine's QueryBatch does for
+// pre-formed batches.
+func (b *batcher) loop() {
+	defer close(b.done)
+	var pending []*request
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	defer timer.Stop()
+	for {
+		var expire <-chan time.Time
+		if len(pending) > 0 && b.window > 0 {
+			expire = timer.C
+		}
+		select {
+		case req := <-b.in:
+			pending = append(pending, req)
+			if len(pending) == 1 && b.window > 0 {
+				timer.Reset(b.window)
+			}
+			if len(pending) >= b.maxBatch {
+				stopTimer(timer)
+				b.dispatch(pending, flushBySize)
+				pending = nil
+			} else if b.window <= 0 {
+				// No coalescing: the zero-length window expires the moment
+				// the request arrives, so the flush is a deadline flush.
+				b.dispatch(pending, flushByDeadline)
+				pending = nil
+			}
+		case <-expire:
+			b.dispatch(pending, flushByDeadline)
+			pending = nil
+		case <-b.quit:
+			stopTimer(timer)
+			// Flush what this loop collected; close() re-drains b.in for
+			// submits that won the send race against shutdown.
+			if len(pending) > 0 {
+				b.dispatch(pending, flushOnClose)
+			}
+			return
+		}
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+func (b *batcher) dispatch(reqs []*request, cause flushCause) {
+	b.flushes.Add(1)
+	go func() {
+		defer b.flushes.Done()
+		b.runFlush(reqs, cause)
+	}()
+}
+
+// runFlush answers one coalesced batch. Members may carry different k
+// values; the flush searches for the largest and trims each response back
+// down — the top-k of a larger k is exactly the top-k of the smaller.
+func (b *batcher) runFlush(reqs []*request, cause flushCause) {
+	// Members whose context ended while queued get their error now; their
+	// handlers have long since returned, so don't spend board time on them.
+	live := make([]*request, 0, len(reqs))
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			b.ctrs.expired.Add(1)
+			r.resp <- response{err: aperr.Canceled(err)}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.ctrs.flushes.Add(1)
+	switch cause {
+	case flushBySize:
+		b.ctrs.flushesSize.Add(1)
+	case flushByDeadline:
+		b.ctrs.flushesDeadline.Add(1)
+	case flushOnClose:
+		b.ctrs.flushesClose.Add(1)
+	}
+	b.ctrs.batchedQueries.Add(int64(len(live)))
+	if len(live) > 1 {
+		b.ctrs.coalesced.Add(int64(len(live)))
+	}
+
+	maxK := 0
+	queries := make([]apknn.Vector, len(live))
+	for i, r := range live {
+		queries[i] = r.query
+		if r.k > maxK {
+			maxK = r.k
+		}
+	}
+	ctx, cancel := batchContext(live)
+	defer cancel()
+	results, err := b.idx.Search(ctx, queries, maxK)
+	for i, r := range live {
+		if err != nil {
+			// A shared-batch failure reaches every rider, but a rider whose
+			// own context ended reports its own cancellation, not the
+			// batch's fate.
+			e := err
+			if cerr := r.ctx.Err(); cerr != nil {
+				e = aperr.Canceled(cerr)
+			}
+			r.resp <- response{flushSize: len(live), err: e}
+			continue
+		}
+		ns := results[i]
+		if len(ns) > r.k {
+			ns = ns[:r.k]
+		}
+		r.resp <- response{neighbors: ns, flushSize: len(live)}
+	}
+}
+
+// batchContext derives the context a coalesced Search runs under: canceled
+// only once every member request's own context is done. One hung-up client
+// must not abort a batch other clients are still waiting on, but a batch
+// whose every rider is gone stops streaming and releases the shard workers
+// promptly.
+func batchContext(reqs []*request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for _, r := range reqs {
+			select {
+			case <-r.ctx.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
+}
+
+// close stops intake, drains every admitted request into one final flush,
+// and waits — bounded by ctx — for every in-flight flush to deliver its
+// responses. Callers must not invoke it twice (Server.Close guards).
+func (b *batcher) close(ctx context.Context) error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Submits that were past the closed check when it flipped resolve
+	// promptly now that quit is closed — either into b.in or with
+	// errClosed. Wait them out, then answer whatever landed in the queue
+	// after the loop stopped reading it.
+	if err := waitBounded(ctx, &b.submits); err != nil {
+		return err
+	}
+	var pending []*request
+	for stragglers := false; !stragglers; {
+		select {
+		case req := <-b.in:
+			pending = append(pending, req)
+		default:
+			stragglers = true
+		}
+	}
+	if len(pending) > 0 {
+		b.dispatch(pending, flushOnClose)
+	}
+	return waitBounded(ctx, &b.flushes)
+}
+
+// waitBounded is WaitGroup.Wait with a context bound.
+func waitBounded(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	apknn "repro"
+)
+
+// ErrSaturated reports a request refused by the server's admission control
+// (HTTP 429). Match with errors.Is; the wrapping APIError carries the
+// suggested Retry-After delay.
+var ErrSaturated = errors.New("serve: server saturated")
+
+// APIError is a non-2xx answer from an apserve instance.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's suggested backoff on 429, zero otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Unwrap lets errors.Is(err, ErrSaturated) match a 429.
+func (e *APIError) Unwrap() error {
+	if e.Status == http.StatusTooManyRequests {
+		return ErrSaturated
+	}
+	return nil
+}
+
+// Client talks to an apserve instance. The zero value is not usable; set
+// BaseURL ("http://host:port", no trailing slash needed). Methods are safe
+// for concurrent use — the load generator drives one Client from many
+// goroutines.
+type Client struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Search asks for the k nearest neighbors of one query through the
+// server's micro-batcher, returning the hits and the realized flush size
+// the query was coalesced into.
+func (c *Client) Search(ctx context.Context, q apknn.Vector, k int) (*SearchResponse, error) {
+	var out SearchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/search",
+		SearchRequest{Query: q.String(), K: k}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SearchBatch sends a client-formed batch, answered in one backend call.
+func (c *Client) SearchBatch(ctx context.Context, queries []apknn.Vector, k int) ([][]apknn.Neighbor, error) {
+	req := SearchBatchRequest{Queries: make([]string, len(queries)), K: k}
+	for i, q := range queries {
+		req.Queries[i] = q.String()
+	}
+	var out SearchBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search_batch", req, &out); err != nil {
+		return nil, err
+	}
+	results := make([][]apknn.Neighbor, len(out.Neighbors))
+	for i, ns := range out.Neighbors {
+		results[i] = Neighbors(ns)
+	}
+	return results, nil
+}
+
+// Stats fetches the live backend and serving-layer counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("serve: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var eresp errorResponse
+		if json.NewDecoder(resp.Body).Decode(&eresp) == nil {
+			apiErr.Message = eresp.Error
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package serve is the HTTP serving layer: it turns many concurrent
+// single-query requests into the large coalesced batches the Automata
+// Processor model rewards. The paper's evaluation (§II-A, §III-C) batches
+// queries into one symbol stream so a configuration sweep is paid once per
+// batch instead of once per query; an online service only sees one query
+// per request, so a dynamic micro-batcher recreates the batch at the
+// server: concurrent /v1/search requests coalesce into a single
+// Index.Search call when either a size cap fills or a flush window
+// expires. Around the batcher sit admission control (bounded in-flight
+// requests, 429 + Retry-After when saturated), per-request context
+// deadlines propagated into the shard worker pool, live counters on
+// /v1/stats, and graceful shutdown that drains in-flight batches.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	apknn "repro"
+)
+
+// Config tunes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxBatch is the flush size cap: a forming batch is dispatched as
+	// soon as this many queries are pending (default 32).
+	MaxBatch int
+	// BatchWindow is the flush deadline, measured from the first query of
+	// a forming batch (default 2ms). Zero disables coalescing — every
+	// query is served in its own backend call.
+	BatchWindow time.Duration
+	// MaxInFlight bounds admitted requests across /v1/search and
+	// /v1/search_batch; excess requests are refused with 429 and a
+	// Retry-After header (default 256).
+	MaxInFlight int
+	// DefaultK answers requests that omit k (default 10).
+	DefaultK int
+	// Dim, when set, is the served dataset's dimensionality and lets the
+	// handler refuse a wrong-length query with 400 before it is admitted.
+	// Without it a bad-dimension query is only caught inside the backend
+	// call, failing the whole coalesced flush it rode in — every innocent
+	// rider of that batch would see the one bad client's error.
+	Dim int
+}
+
+// DefaultBatchWindow is the flush deadline used when Config.BatchWindow is
+// zero-valued via DefaultConfig — around 4 reconfiguration latencies of a
+// Gen-2 board, long enough to coalesce a bursty arrival, short enough to
+// stay invisible next to a configuration sweep.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	return c
+}
+
+// DefaultConfig is the serving shape apserve starts with.
+func DefaultConfig() Config {
+	return Config{BatchWindow: DefaultBatchWindow}.withDefaults()
+}
+
+// Server serves one compiled Index over the /v1 HTTP JSON API. Create it
+// with New, mount Handler on any http.Server, and Close it to drain.
+type Server struct {
+	idx      apknn.Index
+	cfg      Config
+	batcher  *batcher
+	inflight chan struct{}
+	ctrs     counters
+	closed   atomic.Bool
+	mux      *http.ServeMux
+}
+
+// New builds a Server around an already-opened Index. The Index must be
+// safe for concurrent use (every apknn backend is).
+func New(idx apknn.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		idx:      idx,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, &s.ctrs)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/search_batch", s.handleSearchBatch)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the API handler, mountable on any http.Server or mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the serving-layer counters.
+func (s *Server) Stats() apknn.ServingStats { return s.ctrs.snapshot() }
+
+// Index returns the served index, for callers that co-host the server and
+// want the backend counters too.
+func (s *Server) Index() apknn.Index { return s.idx }
+
+// Close performs graceful shutdown of the serving layer: new requests are
+// refused with 503, queued requests are flushed in one final batch, and
+// the call waits — bounded by ctx — until every in-flight flush has
+// delivered its responses. Call it after (not instead of) draining the
+// HTTP listener with http.Server.Shutdown.
+func (s *Server) Close(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.batcher.close(ctx)
+}
+
+// admit reserves an in-flight slot, answering 429 with Retry-After when
+// the server is saturated and 503 when it is shutting down. The returned
+// release func is non-nil iff admission succeeded.
+func (s *Server) admit(w http.ResponseWriter) func() {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errClosed.Error())
+		return nil
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }
+	default:
+		s.ctrs.rejected.Add(1)
+		// One batch window from now the queue has turned over at least
+		// once; round up so the header stays meaningful at ms windows.
+		retry := int(s.cfg.BatchWindow/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("serve: %d requests already in flight", s.cfg.MaxInFlight))
+		return nil
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var body SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	q, err := apknn.ParseVector(body.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query vector: "+err.Error())
+		return
+	}
+	if s.cfg.Dim > 0 && q.Dim() != s.cfg.Dim {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"query has %d bits, dataset has %d: %v", q.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
+		return
+	}
+	k := body.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
+		return
+	}
+
+	ctx := r.Context()
+	if body.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	req := &request{ctx: ctx, query: q, k: k, resp: make(chan response, 1)}
+	if err := s.batcher.submit(req); err != nil {
+		if errors.Is(err, errClosed) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeError(w, statusFor(err), err.Error())
+		}
+		return
+	}
+	s.ctrs.requests.Add(1)
+	// The handler returns the moment the request's own context ends — the
+	// client's wait is bounded by its deadline, not by the flush that will
+	// eventually discard the expired member.
+	select {
+	case resp := <-req.resp:
+		if resp.err != nil {
+			writeError(w, statusFor(resp.err), resp.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, SearchResponse{
+			Neighbors: toWire(resp.neighbors),
+			FlushSize: resp.flushSize,
+		})
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+	}
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var body SearchBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	queries := make([]apknn.Vector, len(body.Queries))
+	for i, qs := range body.Queries {
+		q, err := apknn.ParseVector(qs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad query vector %d: %v", i, err))
+			return
+		}
+		if s.cfg.Dim > 0 && q.Dim() != s.cfg.Dim {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"query %d has %d bits, dataset has %d: %v", i, q.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
+			return
+		}
+		queries[i] = q
+	}
+	k := body.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	results, err := s.idx.Search(r.Context(), queries, k)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	s.ctrs.batchRequests.Add(1)
+	out := SearchBatchResponse{Neighbors: make([][]Neighbor, len(results))}
+	for i, ns := range results {
+		out.Neighbors[i] = toWire(ns)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Backend:       s.idx.Stats(),
+		Serving:       s.ctrs.snapshot(),
+		ModeledTimeNS: int64(s.idx.ModeledTime()),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "shutting down"
+		code = http.StatusServiceUnavailable
+	}
+	st := s.idx.Stats()
+	writeJSON(w, code, HealthResponse{
+		Status:  status,
+		Backend: string(st.Backend),
+		Boards:  st.Boards,
+	})
+}
+
+// statusFor maps engine errors onto HTTP statuses: caller mistakes are
+// 400s, deadline/cancellation is 504, anything else is a 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, apknn.ErrDimMismatch), errors.Is(err, apknn.ErrBadK):
+		return http.StatusBadRequest
+	case errors.Is(err, apknn.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	apknn "repro"
+)
+
+// The JSON wire types of the /v1 serving API, shared by the HTTP handlers
+// and the Go Client. Vectors travel as "1011"-style bit strings — the same
+// textual form apknn.ParseVector accepts and Vector.String prints — so the
+// API is curl-able without a binary encoding step.
+
+// SearchRequest is the body of POST /v1/search: one query destined for the
+// dynamic micro-batcher.
+type SearchRequest struct {
+	// Query is the bit-string query vector; its length must equal the
+	// served dataset's dimensionality.
+	Query string `json:"query"`
+	// K is the number of neighbors wanted (default 10).
+	K int `json:"k,omitempty"`
+	// TimeoutMS optionally bounds the server-side time budget; expiry
+	// answers 504. The client's own context cancellation is honored
+	// regardless.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Neighbor is one search hit on the wire.
+type Neighbor struct {
+	ID   int `json:"id"`
+	Dist int `json:"dist"`
+}
+
+// SearchResponse answers POST /v1/search.
+type SearchResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+	// FlushSize is the realized micro-batch this query was coalesced
+	// into — 1 means the query paid a full reconfiguration sweep alone.
+	FlushSize int `json:"flush_size"`
+}
+
+// SearchBatchRequest is the body of POST /v1/search_batch: a client-formed
+// batch served in one backend call, bypassing the micro-batcher.
+type SearchBatchRequest struct {
+	Queries []string `json:"queries"`
+	K       int      `json:"k,omitempty"`
+}
+
+// SearchBatchResponse answers POST /v1/search_batch; Neighbors is indexed
+// like Queries.
+type SearchBatchResponse struct {
+	Neighbors [][]Neighbor `json:"neighbors"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	// Backend is the served Index's own counters.
+	Backend apknn.Stats `json:"backend"`
+	// Serving is the micro-batcher and admission-control snapshot.
+	Serving apknn.ServingStats `json:"serving"`
+	// ModeledTimeNS is the backend's accumulated modeled wall-clock.
+	ModeledTimeNS int64 `json:"modeled_time_ns"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Backend string `json:"backend"`
+	Boards  int    `json:"boards"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// toWire converts engine neighbors to their wire form.
+func toWire(ns []apknn.Neighbor) []Neighbor {
+	out := make([]Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = Neighbor{ID: n.ID, Dist: n.Dist}
+	}
+	return out
+}
+
+// Neighbors converts wire neighbors back to engine form, for callers that
+// compare server results against a local index or exact scan.
+func Neighbors(ws []Neighbor) []apknn.Neighbor {
+	out := make([]apknn.Neighbor, len(ws))
+	for i, w := range ws {
+		out[i] = apknn.Neighbor{ID: w.ID, Dist: w.Dist}
+	}
+	return out
+}

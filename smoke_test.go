@@ -1,10 +1,18 @@
 package apknn_test
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestSmokeBinaries compiles and runs every command and the quickstart
@@ -93,6 +101,21 @@ func TestSmokeBinaries(t *testing.T) {
 			want: []string{"Fig. 3 trace: vector=1011 query=1001"},
 		},
 		{
+			name: "apknn-timeout",
+			pkg:  "./cmd/apknn",
+			args: []string{"-n", "64", "-dim", "16", "-q", "2", "-k", "2", "-fast", "-timeout", "30s"},
+			want: []string{"AP result agreement with exact CPU scan: 2/2 queries"},
+		},
+		{
+			name: "apbench-serve",
+			pkg:  "./cmd/apbench",
+			args: []string{"-exp", "serve"},
+			want: []string{
+				"HTTP serving: dynamic micro-batching",
+				"fleet QPS (modeled)",
+			},
+		},
+		{
 			name: "quickstart",
 			pkg:  "./examples/quickstart",
 			args: nil,
@@ -103,6 +126,16 @@ func TestSmokeBinaries(t *testing.T) {
 			pkg:  "./examples/sharded",
 			args: nil,
 			want: []string{"sharded across 4 boards", "modeled speedup"},
+		},
+		{
+			name: "serve",
+			pkg:  "./examples/serve",
+			args: nil,
+			want: []string{
+				"0 mismatches vs exact scan",
+				"mean realized batch",
+				"drained and shut down cleanly",
+			},
 		},
 	}
 	for _, c := range cases {
@@ -123,5 +156,135 @@ func TestSmokeBinaries(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSmokeApserve boots the real apserve binary on an ephemeral port,
+// exercises every endpoint over real HTTP, then sends SIGTERM and asserts
+// a clean drain — the full serving lifecycle, binary edition.
+func TestSmokeApserve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "apserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/apserve").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/apserve: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-n", "2048", "-dim", "16", "-batch-window", "2ms")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// The startup log names the bound address; everything after is drained
+	// in the background so the server never blocks on a full pipe.
+	var addr string
+	logs := &bytes.Buffer{}
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		logs.WriteString(line + "\n")
+		if i := strings.Index(line, "serving on "); i >= 0 {
+			addr = strings.Fields(line[i+len("serving on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("apserve never logged its address:\n%s", logs.String())
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			logs.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	base := "http://" + addr
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	get := func(path string, into interface{}) {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "GET", base+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Backend string `json:"backend"`
+	}
+	get("/healthz", &health)
+	if health.Status != "ok" || health.Backend != "sharded" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	query := strings.Repeat("10", 8) // 16-dim bit string
+	body := fmt.Sprintf(`{"query":%q,"k":3}`, query)
+	req, _ := http.NewRequestWithContext(ctx, "POST", base+"/v1/search", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var search struct {
+		Neighbors []struct {
+			ID   int `json:"id"`
+			Dist int `json:"dist"`
+		} `json:"neighbors"`
+		FlushSize int `json:"flush_size"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&search)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("POST /v1/search: HTTP %d, decode err %v", resp.StatusCode, err)
+	}
+	if len(search.Neighbors) != 3 || search.FlushSize < 1 {
+		t.Fatalf("search response = %+v", search)
+	}
+
+	var stats struct {
+		Serving struct {
+			Requests int64 `json:"requests"`
+			Flushes  int64 `json:"flushes"`
+		} `json:"serving"`
+		ModeledTimeNS int64 `json:"modeled_time_ns"`
+	}
+	get("/v1/stats", &stats)
+	if stats.Serving.Requests != 1 || stats.Serving.Flushes != 1 || stats.ModeledTimeNS <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	// Finish reading stderr before Wait: Wait closes the pipe and would
+	// race the drain goroutine out of the final log lines.
+	go func() { <-drained; done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("apserve exited dirty: %v\n%s", err, logs.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("apserve did not drain after SIGTERM\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "served 1 requests") {
+		t.Errorf("final drain log missing served-requests line:\n%s", logs.String())
 	}
 }

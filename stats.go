@@ -10,30 +10,68 @@ import (
 
 // Stats is a point-in-time snapshot of an Index's serving counters. Fields
 // that do not apply to a backend are zero — only the board-backed backends
-// stream symbols, only Approx prunes candidates.
+// stream symbols, only Approx prunes candidates. The JSON field names are
+// part of the serving API: GET /v1/stats on an apserve instance returns
+// this struct verbatim under "backend".
 type Stats struct {
 	// Backend that produced this snapshot.
-	Backend BackendKind
+	Backend BackendKind `json:"backend"`
 	// Boards in the fleet (board-backed backends; 1 for the single-device
 	// models).
-	Boards int
+	Boards int `json:"boards"`
 	// Partitions is the total board configurations the dataset spans.
-	Partitions int
+	Partitions int `json:"partitions"`
 	// Queries served since Open.
-	Queries int64
+	Queries int64 `json:"queries"`
 	// Batches answered through Search and SearchBatch since Open.
-	Batches int64
+	Batches int64 `json:"batches"`
 	// SymbolsStreamed is the total symbol cycles streamed across boards.
-	SymbolsStreamed int64
+	SymbolsStreamed int64 `json:"symbols_streamed"`
 	// Reconfigs is the total board configurations loaded (§III-C sweeps).
-	Reconfigs int64
+	Reconfigs int64 `json:"reconfigs"`
 	// CandidatesScanned is the total query/candidate distance pairs the
 	// backend actually evaluated (CPU/GPU/FPGA scan everything; Approx
 	// scans only probed buckets).
-	CandidatesScanned int64
+	CandidatesScanned int64 `json:"candidates_scanned"`
 	// PerBoardTime is each board's modeled wall-clock, shard-ordered.
 	// ModeledTime is its maximum for the fleet backends.
-	PerBoardTime []time.Duration
+	PerBoardTime []time.Duration `json:"per_board_time_ns,omitempty"`
+}
+
+// ServingStats is the micro-batcher and admission-control snapshot of the
+// HTTP serving layer (internal/serve). The batch window only earns its keep
+// on the AP fleet when concurrent requests actually coalesce, so the layer
+// counts exactly that: how many requests rode a shared flush, what forced
+// each flush (the size cap, the deadline, or shutdown drain), and how many
+// requests admission control turned away. GET /v1/stats reports this struct
+// under "serving".
+type ServingStats struct {
+	// Requests admitted into the micro-batcher via /v1/search.
+	Requests int64 `json:"requests"`
+	// BatchRequests served directly via /v1/search_batch (pre-batched by
+	// the client, never coalesced).
+	BatchRequests int64 `json:"batch_requests"`
+	// Coalesced is the number of requests that shared a flush with at
+	// least one other request — the coalescing win the window buys.
+	Coalesced int64 `json:"coalesced"`
+	// Flushes is the total SearchBatch-sized calls the batcher issued.
+	Flushes int64 `json:"flushes"`
+	// FlushesBySize were forced by the batch-size cap filling up.
+	FlushesBySize int64 `json:"flushes_by_size"`
+	// FlushesByDeadline were forced by the batch window expiring — with a
+	// zero window (coalescing disabled) every flush lands here, since the
+	// deadline expires the moment a request arrives.
+	FlushesByDeadline int64 `json:"flushes_by_deadline"`
+	// FlushesOnClose drained pending requests during graceful shutdown.
+	FlushesOnClose int64 `json:"flushes_on_close"`
+	// Rejected counts requests refused with 429 by admission control.
+	Rejected int64 `json:"rejected"`
+	// Expired counts requests whose context ended while they waited in
+	// the queue; they never reached the backend.
+	Expired int64 `json:"expired"`
+	// MeanBatch is the mean realized flush size (queries per backend
+	// call); 0 until the first flush.
+	MeanBatch float64 `json:"mean_batch"`
 }
 
 // counters is the query/batch accounting embedded by every built-in index.
