@@ -16,9 +16,12 @@
 //
 // Search and SearchBatch accept a context.Context whose cancellation aborts
 // in-flight board work; failures are typed sentinel errors (ErrDimMismatch,
-// ErrEmptyDataset, ErrBadK, ErrCanceled) matched with errors.Is; Stats
-// returns a serving snapshot. The pre-Backend NewSearcher/Options surface
-// remains as a deprecated shim.
+// ErrEmptyDataset, ErrBadK, ErrCanceled, ErrNotFound) matched with
+// errors.Is; Stats returns a serving snapshot. OpenLive returns a mutable
+// index instead: Insert/Delete apply immediately through a delta segment
+// and tombstone set, and a background compactor folds the churn into fresh
+// base compilations. The pre-Backend NewSearcher/Options surface remains as
+// a deprecated shim.
 //
 // See README.md for the system inventory, the backend guide, and the
 // paper-vs-reproduced audit of the evaluation tables.

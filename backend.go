@@ -98,6 +98,15 @@ type Config struct {
 	Probes int
 	// Seed drives the randomized index constructions (default 1).
 	Seed uint64
+	// CompactThreshold is the churn volume (delta inserts + tombstones)
+	// that triggers a background compaction on a live index opened with
+	// OpenLive (0 = live.DefaultCompactThreshold, negative disables).
+	// Backends ignore it.
+	CompactThreshold int
+	// CompactInterval is the live index's max-staleness timer: pending
+	// churn is compacted at least this often (0 disables the timer).
+	// Backends ignore it.
+	CompactInterval time.Duration
 }
 
 // Option configures Open.
@@ -129,6 +138,14 @@ func WithProbes(n int) Option { return func(c *Config) { c.Probes = n } }
 
 // WithSeed seeds the randomized index constructions (Approx backend).
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithCompactThreshold sets the churn volume that triggers a background
+// compaction on a live index (OpenLive). Negative disables the trigger.
+func WithCompactThreshold(n int) Option { return func(c *Config) { c.CompactThreshold = n } }
+
+// WithCompactInterval sets the live index's max-staleness compaction timer
+// (OpenLive). Zero disables the timer.
+func WithCompactInterval(d time.Duration) Option { return func(c *Config) { c.CompactInterval = d } }
 
 // Index is a compiled dataset ready to serve queries on one backend. All
 // implementations are safe for concurrent use.

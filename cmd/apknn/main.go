@@ -22,6 +22,8 @@ import (
 func main() {
 	n := flag.Int("n", 2048, "dataset size")
 	dim := flag.Int("dim", 64, "code dimensionality")
+	load := flag.String("load", "", "load the dataset from this binary dataset file instead of synthesizing (-n/-dim ignored)")
+	save := flag.String("save", "", "save the dataset to this binary dataset file")
 	q := flag.Int("q", 8, "number of queries")
 	k := flag.Int("k", 4, "neighbors per query")
 	gen := flag.Int("gen", 2, "AP generation (1 or 2)")
@@ -72,7 +74,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	ds := apknn.RandomDataset(*seed, *n, *dim)
+	var ds *apknn.Dataset
+	if *load != "" {
+		var err error
+		if ds, err = apknn.LoadDataset(*load); err != nil {
+			fmt.Fprintln(os.Stderr, "apknn:", err)
+			os.Exit(1)
+		}
+		*n, *dim = ds.Len(), ds.Dim()
+	} else {
+		ds = apknn.RandomDataset(*seed, *n, *dim)
+	}
+	if *save != "" {
+		if err := apknn.SaveDataset(ds, *save); err != nil {
+			fmt.Fprintln(os.Stderr, "apknn:", err)
+			os.Exit(1)
+		}
+	}
 	queries := apknn.RandomQueries(*seed+1, *q, *dim)
 
 	idx, err := apknn.Open(ds,

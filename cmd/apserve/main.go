@@ -9,6 +9,12 @@
 //	    -d '{"query":"1011...","k":4}'
 //	curl -s localhost:8080/v1/stats
 //
+// With -live the index is mutable: POST /v1/insert and /v1/delete apply
+// immediately through a delta segment and tombstone set, and a background
+// compactor folds the churn into a fresh base compilation once it passes
+// -compact-threshold or -compact-interval. -load/-save persist the dataset
+// in the binary format instead of synthesizing a new one per boot.
+//
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
 // and queued micro-batches finish, then the process exits.
 package main
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	apknn "repro"
+	"repro/internal/live"
 	"repro/internal/serve"
 )
 
@@ -36,10 +43,15 @@ func main() {
 	n := flag.Int("n", 1<<16, "synthetic dataset size")
 	dim := flag.Int("dim", 64, "code dimensionality")
 	seed := flag.Uint64("seed", 42, "dataset random seed")
+	load := flag.String("load", "", "load the dataset from this binary dataset file instead of synthesizing (-n/-dim/-seed ignored)")
+	save := flag.String("save", "", "save the served dataset to this binary dataset file at boot")
 	gen := flag.Int("gen", 2, "AP generation (1 or 2)")
 	capacity := flag.Int("capacity", 0, "vectors per board configuration (0 = paper default)")
 	boards := flag.Int("boards", 0, "boards to shard across (0 = backend default)")
 	workers := flag.Int("workers", 0, "host-side parallelism (0 = backend default)")
+	liveMode := flag.Bool("live", false, "serve a mutable index: enable /v1/insert and /v1/delete with background compaction")
+	compactThreshold := flag.Int("compact-threshold", 0, "with -live: churn volume (delta inserts + tombstones) that triggers compaction (0 = default 1024, negative disables)")
+	compactInterval := flag.Duration("compact-interval", 30*time.Second, "with -live: max staleness before pending churn is compacted (0 disables the timer)")
 	maxBatch := flag.Int("batch", 32, "micro-batch size cap (flush when this many queries are pending)")
 	window := flag.Duration("batch-window", serve.DefaultBatchWindow,
 		"micro-batch flush deadline; 0 disables coalescing")
@@ -52,28 +64,62 @@ func main() {
 	if *gen == 1 {
 		generation = apknn.Gen1
 	}
-	log.Printf("apserve: building %d x %d-bit dataset (seed %d)", *n, *dim, *seed)
-	ds := apknn.RandomDataset(*seed, *n, *dim)
-	idx, err := apknn.Open(ds,
+	var ds *apknn.Dataset
+	if *load != "" {
+		var err error
+		if ds, err = apknn.LoadDataset(*load); err != nil {
+			log.Fatal("apserve: ", err)
+		}
+		log.Printf("apserve: loaded %d x %d-bit dataset from %s", ds.Len(), ds.Dim(), *load)
+	} else {
+		log.Printf("apserve: building %d x %d-bit dataset (seed %d)", *n, *dim, *seed)
+		ds = apknn.RandomDataset(*seed, *n, *dim)
+	}
+	if *save != "" {
+		if err := apknn.SaveDataset(ds, *save); err != nil {
+			log.Fatal("apserve: ", err)
+		}
+		log.Printf("apserve: saved dataset to %s", *save)
+	}
+	opts := []apknn.Option{
 		apknn.WithBackend(apknn.BackendKind(*backend)),
 		apknn.WithGeneration(generation),
 		apknn.WithCapacity(*capacity),
 		apknn.WithBoards(*boards),
 		apknn.WithWorkers(*workers),
-	)
+	}
+	var idx apknn.Index
+	var liveIdx *apknn.LiveIndex
+	var err error
+	if *liveMode {
+		liveIdx, err = apknn.OpenLive(ds, append(opts,
+			apknn.WithCompactThreshold(*compactThreshold),
+			apknn.WithCompactInterval(*compactInterval))...)
+		idx = liveIdx
+	} else {
+		idx, err = apknn.Open(ds, opts...)
+	}
 	if err != nil {
 		log.Fatal("apserve: ", err)
 	}
 	st := idx.Stats()
-	log.Printf("apserve: backend %q ready: %d board(s), %d partition(s)",
-		st.Backend, st.Boards, st.Partitions)
+	mode := "static"
+	if *liveMode {
+		threshold := *compactThreshold
+		if threshold == 0 {
+			threshold = live.DefaultCompactThreshold
+		}
+		mode = fmt.Sprintf("live (compact threshold %d, interval %v)", threshold, *compactInterval)
+	}
+	log.Printf("apserve: backend %q ready: %d board(s), %d partition(s), %s",
+		st.Backend, st.Boards, st.Partitions, mode)
 
 	srv := serve.New(idx, serve.Config{
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
 		MaxInFlight: *maxInFlight,
 		DefaultK:    *defaultK,
-		Dim:         *dim,
+		Dim:         ds.Dim(),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,6 +150,15 @@ func main() {
 	}
 	if err := srv.Close(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "apserve: drain:", err)
+	}
+	if liveIdx != nil {
+		if err := liveIdx.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "apserve: live close:", err)
+		}
+		if ls := liveIdx.Stats().Live; ls != nil {
+			log.Printf("apserve: live index saw %d inserts, %d deletes, %d compaction(s)",
+				ls.Inserts, ls.Deletes, ls.Compactions)
+		}
 	}
 	final := srv.Stats()
 	log.Printf("apserve: served %d requests in %d flushes (mean batch %.2f), %d rejected; bye",

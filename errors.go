@@ -19,4 +19,7 @@ var (
 	ErrCanceled = aperr.ErrCanceled
 	// ErrUnknownBackend reports an Open with an unregistered backend kind.
 	ErrUnknownBackend = aperr.ErrUnknownBackend
+	// ErrNotFound reports a Delete naming an ID the live index does not
+	// hold — never assigned, or already deleted.
+	ErrNotFound = aperr.ErrNotFound
 )

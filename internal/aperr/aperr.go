@@ -23,6 +23,9 @@ var (
 	// ErrUnknownBackend reports a backend kind with no registered
 	// implementation.
 	ErrUnknownBackend = errors.New("unknown backend")
+	// ErrNotFound reports a mutation naming an ID the index does not hold —
+	// never assigned, or already deleted.
+	ErrNotFound = errors.New("id not found")
 )
 
 // Canceled wraps ErrCanceled with the context's cause so errors.Is matches

@@ -82,6 +82,21 @@ func ParseBits(s string) (Vector, error) {
 	return v, nil
 }
 
+// FromWords builds a vector of the given dimensionality from packed 64-bit
+// words, copying them into fresh storage and masking the tail back to
+// canonical form. It panics if words is shorter than WordsFor(dim) — packed
+// storage of the wrong shape is a caller bug. The copy-on-read delta
+// segment (internal/live) and the binary dataset reader are built on this.
+func FromWords(dim int, words []uint64) Vector {
+	v := New(dim)
+	if len(words) < len(v.words) {
+		panic(fmt.Sprintf("bitvec: %d words cannot hold %d bits", len(words), dim))
+	}
+	copy(v.words, words)
+	v.maskTail()
+	return v
+}
+
 // Random returns a vector with independent uniform bits drawn from rng.
 func Random(rng *stats.RNG, dim int) Vector {
 	v := New(dim)

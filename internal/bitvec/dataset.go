@@ -52,7 +52,10 @@ func (ds *Dataset) Append(v Vector) int {
 }
 
 // At returns vector i without copying; the returned vector aliases dataset
-// storage and must not be mutated.
+// storage and must not be mutated. Because Append may reallocate the backing
+// array, At is only safe against a dataset that is not being appended to
+// concurrently — a mutable layer that interleaves reads and appends must use
+// a stable-snapshot store instead (see internal/live's delta segment).
 func (ds *Dataset) At(i int) Vector {
 	if i < 0 || i >= ds.n {
 		panic(fmt.Sprintf("bitvec: dataset index %d out of range [0,%d)", i, ds.n))

@@ -1,0 +1,139 @@
+package bitvec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary dataset format: a fixed little-endian header followed by the packed
+// vector words, so apserve/apknn can persist and reload real datasets
+// instead of synthesizing one per boot.
+//
+//	offset  size  field
+//	0       4     magic "APDS"
+//	4       4     format version (currently 1)
+//	8       4     dim — bits per vector
+//	12      8     n — vector count
+//	20      ...   n * WordsFor(dim) uint64 words, little-endian
+//
+// The payload is exactly the in-memory layout Dataset streams through, so a
+// load is one contiguous read.
+
+// DatasetMagic is the four-byte file signature of the binary dataset format.
+const DatasetMagic = "APDS"
+
+// datasetVersion is the current format version written by WriteTo.
+const datasetVersion = 1
+
+// headerLen is the fixed byte length of the dataset header.
+const headerLen = 4 + 4 + 4 + 8
+
+// WriteTo serializes the dataset in the binary format above. It implements
+// io.WriterTo; the returned count is the total bytes written.
+func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
+	var hdr [headerLen]byte
+	copy(hdr[0:4], DatasetMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], datasetVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(ds.dim))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(ds.n))
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, fmt.Errorf("bitvec: write dataset header: %w", err)
+	}
+	buf := make([]byte, 8*len(ds.words))
+	for i, word := range ds.words {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	n, err = w.Write(buf)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("bitvec: write dataset words: %w", err)
+	}
+	return written, nil
+}
+
+// ReadDataset parses a dataset serialized by WriteTo, validating the magic,
+// version and geometry before allocating the payload.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("bitvec: read dataset header: %w", err)
+	}
+	if string(hdr[0:4]) != DatasetMagic {
+		return nil, fmt.Errorf("bitvec: bad dataset magic %q (want %q)", hdr[0:4], DatasetMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != datasetVersion {
+		return nil, fmt.Errorf("bitvec: unsupported dataset format version %d (want %d)", v, datasetVersion)
+	}
+	dim := binary.LittleEndian.Uint32(hdr[8:12])
+	count := binary.LittleEndian.Uint64(hdr[12:20])
+	if dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("bitvec: dataset dim %d out of range", dim)
+	}
+	wordsPV := uint64(WordsFor(int(dim)))
+	if count > math.MaxInt64/(8*wordsPV) {
+		return nil, fmt.Errorf("bitvec: dataset count %d overflows", count)
+	}
+	ds := NewDataset(int(dim))
+	ds.n = int(count)
+	// The payload is read in bounded chunks so a corrupt or hostile header
+	// claiming petabytes fails with a clean truncation error as soon as the
+	// actual bytes run out, instead of a giant up-front allocation.
+	const chunkWords = 1 << 16
+	total := int(count * wordsPV)
+	buf := make([]byte, 8*min(chunkWords, total))
+	for read := 0; read < total; {
+		n := min(chunkWords, total-read)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return nil, fmt.Errorf("bitvec: read dataset words: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			ds.words = append(ds.words, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		read += n
+	}
+	// Tails beyond dim must be zero (canonical form); reject corrupt files
+	// rather than search garbage bits.
+	if tail := uint(dim) & 63; tail != 0 {
+		mask := ^uint64(0) << tail
+		for i := int(wordsPV) - 1; i < len(ds.words); i += int(wordsPV) {
+			if ds.words[i]&mask != 0 {
+				return nil, fmt.Errorf("bitvec: vector %d has bits beyond dim %d", i/int(wordsPV), dim)
+			}
+		}
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path in the binary format.
+func (ds *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := ds.WriteTo(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset saved by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(bufio.NewReader(f))
+}

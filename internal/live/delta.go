@@ -1,0 +1,115 @@
+// Package live implements the mutable index layer: a small, exactly-scanned
+// delta segment of recent inserts and a tombstone set of deletes stacked on
+// top of a compiled base index, with a background compactor that folds the
+// churn back into a fresh base compilation.
+//
+// The paper's performance model charges a full symbol-replacement sweep per
+// dataset change (§III-C): on a real Automata Processor every insert or
+// delete would pay a board reconfiguration. The same amortization that the
+// serving layer applies to query streams — batch many small events into one
+// reconfiguration — applies to dataset churn: mutations land in host memory
+// immediately (delta appends, tombstone marks) and the reconfiguration is
+// paid once per compaction instead of once per mutation. Searches merge
+// base and delta results through the shared (Dist, ID) tie-break with
+// tombstones filtered, so results stay byte-identical to an exact scan of
+// the current live set.
+package live
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// deltaChunkVecs is the number of vectors per delta chunk. Chunks are
+// allocated at full size and never reallocated, which is what makes a
+// published snapshot stable under concurrent appends.
+const deltaChunkVecs = 256
+
+// delta is the append-only store behind the delta segment. Appends must be
+// serialized by the caller (the engine's writer lock); snapshots taken
+// between appends are stable forever. Unlike bitvec.Dataset — whose Append
+// may reallocate the storage an earlier At aliases — a delta chunk is
+// allocated at its final size up front, so a reader holding a snapshot
+// never observes a torn or moved vector.
+type delta struct {
+	dim     int
+	wordsPV int
+	firstID int // global ID of entry 0
+	chunks  [][]uint64
+	n       int
+}
+
+func newDelta(dim, firstID int) *delta {
+	if dim <= 0 {
+		panic(fmt.Sprintf("live: non-positive dimensionality %d", dim))
+	}
+	return &delta{dim: dim, wordsPV: bitvec.WordsFor(dim), firstID: firstID}
+}
+
+// append adds a vector and returns its global ID. Callers must hold the
+// engine writer lock; the words are fully written before any snapshot that
+// includes the new entry is published.
+func (d *delta) append(v bitvec.Vector) int {
+	if v.Dim() != d.dim {
+		panic(fmt.Sprintf("live: delta dim %d, vector dim %d", d.dim, v.Dim()))
+	}
+	chunk, off := d.n/deltaChunkVecs, d.n%deltaChunkVecs
+	if chunk == len(d.chunks) {
+		d.chunks = append(d.chunks, make([]uint64, deltaChunkVecs*d.wordsPV))
+	}
+	copy(d.chunks[chunk][off*d.wordsPV:(off+1)*d.wordsPV], v.Words())
+	id := d.firstID + d.n
+	d.n++
+	return id
+}
+
+// snapshot publishes the current visible prefix. The returned view is an
+// immutable value: later appends write only into chunk positions beyond its
+// length (or into chunks its header slice does not reference).
+func (d *delta) snapshot() deltaView {
+	return deltaView{
+		dim:     d.dim,
+		wordsPV: d.wordsPV,
+		firstID: d.firstID,
+		chunks:  d.chunks[:len(d.chunks):len(d.chunks)],
+		n:       d.n,
+	}
+}
+
+// deltaView is a stable point-in-time snapshot of the delta segment. The
+// zero value is an empty segment.
+type deltaView struct {
+	dim     int
+	wordsPV int
+	firstID int
+	chunks  [][]uint64
+	n       int
+}
+
+// Len returns the number of visible entries (tombstoned ones included).
+func (v deltaView) Len() int { return v.n }
+
+// FirstID returns the global ID of entry 0; entry i has ID FirstID()+i.
+func (v deltaView) FirstID() int { return v.firstID }
+
+// contains reports whether the global id names a visible delta entry.
+func (v deltaView) contains(id int) bool {
+	return id >= v.firstID && id < v.firstID+v.n
+}
+
+// words returns the packed words of entry i for the scan kernel. The slice
+// aliases chunk storage, which is immutable for indexes below Len.
+func (v deltaView) words(i int) []uint64 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("live: delta index %d out of range [0,%d)", i, v.n))
+	}
+	chunk, off := i/deltaChunkVecs, i%deltaChunkVecs
+	return v.chunks[chunk][off*v.wordsPV : (off+1)*v.wordsPV]
+}
+
+// vector returns a copy of entry i — copy-on-read, so callers can hold it
+// across compactions without aliasing the store.
+func (v deltaView) vector(i int) bitvec.Vector {
+	return bitvec.FromWords(v.dim, v.words(i))
+}

@@ -1,0 +1,575 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+	"repro/internal/perfmodel"
+)
+
+// Searcher is the compiled-base contract the engine needs from a backend
+// index: batched search with the shared (Dist, ID) tie-break, the modeled
+// wall-clock meter, and the partition count the compaction cost model
+// charges reconfigurations for.
+type Searcher interface {
+	Search(ctx context.Context, queries []bitvec.Vector, k int) ([][]knn.Neighbor, error)
+	ModeledTime() time.Duration
+	Partitions() int
+}
+
+// CompileFunc builds a fresh base index over a dataset — apknn adapts
+// Backend.Compile into this, so the compactor recompiles through the same
+// path Open uses.
+type CompileFunc func(ds *bitvec.Dataset) (Searcher, error)
+
+// Options tunes an Index. The zero value compacts at DefaultCompactThreshold
+// with no staleness timer and charges no reconfiguration time.
+type Options struct {
+	// CompactThreshold triggers a background compaction when the delta
+	// segment plus tombstone set reach this many entries (default
+	// DefaultCompactThreshold; negative disables the threshold trigger).
+	CompactThreshold int
+	// CompactInterval is the max-staleness timer: a background compaction
+	// folds any pending churn at least this often (0 disables the timer).
+	CompactInterval time.Duration
+	// ReconfigCost models the time a compaction charges for loading the
+	// freshly compiled base onto the device, given its partition count —
+	// the symbol-replacement sweep of the paper's model. Nil charges zero.
+	ReconfigCost func(partitions int) time.Duration
+	// ScanCost models the host time of one delta scan of n entries for q
+	// queries of dimensionality dim. Nil uses the calibrated Xeon E5 model,
+	// the same cost the CPU backend charges per candidate pair.
+	ScanCost func(n, q, dim int) time.Duration
+}
+
+// DefaultCompactThreshold is the churn volume (delta entries + tombstones)
+// that triggers a background compaction when Options doesn't say otherwise.
+const DefaultCompactThreshold = 1024
+
+// baseGen is one compiled generation of the base index: the backend index,
+// the dataset it was compiled from, and the internal→global ID map.
+type baseGen struct {
+	searcher Searcher
+	ds       *bitvec.Dataset
+	// ids maps the backend's internal IDs (dataset positions) to global
+	// IDs. Nil means identity — true for the initial generation and for any
+	// compaction that never dropped an ID. The mapping is strictly
+	// ascending either way, so a (Dist, internalID)-sorted result list is
+	// (Dist, globalID)-sorted after remapping.
+	ids []int
+}
+
+func (b *baseGen) size() int { return b.ds.Len() }
+
+// globalID translates an internal (dataset-position) ID.
+func (b *baseGen) globalID(internal int) int {
+	if b.ids == nil {
+		return internal
+	}
+	return b.ids[internal]
+}
+
+// contains reports whether a global ID names a base-resident vector.
+func (b *baseGen) contains(id int) bool {
+	if b.ids == nil {
+		return id >= 0 && id < b.ds.Len()
+	}
+	i := sort.SearchInts(b.ids, id)
+	return i < len(b.ids) && b.ids[i] == id
+}
+
+// view is one immutable snapshot of the whole mutable index. Readers load
+// it from an atomic pointer and never block on writers; writers build a new
+// view under the writer lock and publish it atomically (RCU).
+type view struct {
+	base  *baseGen // nil when every vector has been deleted
+	delta deltaView
+	// tomb is the tombstone set: global IDs deleted but not yet compacted
+	// away. The map is immutable once published — Delete copies it.
+	tomb map[int]struct{}
+	// baseTombs counts tombstones that target base-resident IDs; base
+	// searches over-fetch by exactly this many so filtering never starves
+	// the top-k.
+	baseTombs int
+	// nextID is the next global ID an Insert will assign. IDs are never
+	// reused, so a delete followed by any number of compactions can never
+	// resurrect an ID.
+	nextID int
+}
+
+// liveLen returns the number of live (visible, non-tombstoned) vectors.
+func (v *view) liveLen() int {
+	n := v.delta.Len() - len(v.tomb)
+	if v.base != nil {
+		n += v.base.size()
+	}
+	return n
+}
+
+// churn returns the pending mutation volume a compaction would fold.
+func (v *view) churn() int { return v.delta.Len() + len(v.tomb) }
+
+// Index is the mutable index: a compiled base plus delta segment and
+// tombstones, recompacted in the background. Search/Insert/Delete are safe
+// for concurrent use; searches never block on mutations or compactions.
+type Index struct {
+	compile CompileFunc
+	opts    Options
+	dim     int
+
+	cur atomic.Pointer[view]
+
+	// mu is the writer lock: Insert, Delete and the compaction swap hold
+	// it; readers never do.
+	mu    sync.Mutex
+	store *delta // canonical delta store; mutate under mu
+
+	// compactMu serializes compactions (background and explicit).
+	compactMu      sync.Mutex
+	lastCompactErr error // under compactMu
+
+	inserts       atomic.Int64
+	deletes       atomic.Int64
+	searches      atomic.Int64
+	mixedSearches atomic.Int64
+	compactions   atomic.Int64
+	generation    atomic.Int64
+	deltaScanNS   atomic.Int64
+	reconfigNS    atomic.Int64
+	retiredNS     atomic.Int64
+
+	notify    chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New compiles ds as generation 0 and starts the background compactor. The
+// seed dataset must be non-empty (the backends cannot compile an empty
+// automaton); it is referenced, not copied — callers must not mutate it.
+func New(ds *bitvec.Dataset, compile CompileFunc, opts Options) (*Index, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("live: %w", aperr.ErrEmptyDataset)
+	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	if opts.ScanCost == nil {
+		xeon := perfmodel.XeonE5()
+		opts.ScanCost = func(n, q, dim int) time.Duration {
+			return perfmodel.CPUTime(xeon, n, q, dim)
+		}
+	}
+	base, err := compile(ds)
+	if err != nil {
+		return nil, fmt.Errorf("live: compile base: %w", err)
+	}
+	x := &Index{
+		compile: compile,
+		opts:    opts,
+		dim:     ds.Dim(),
+		store:   newDelta(ds.Dim(), ds.Len()),
+		notify:  make(chan struct{}, 1),
+		closed:  make(chan struct{}),
+	}
+	x.cur.Store(&view{
+		base:   &baseGen{searcher: base, ds: ds},
+		delta:  x.store.snapshot(),
+		tomb:   map[int]struct{}{},
+		nextID: ds.Len(),
+	})
+	x.wg.Add(1)
+	go x.compactor()
+	return x, nil
+}
+
+// Dim returns the index dimensionality.
+func (x *Index) Dim() int { return x.dim }
+
+// Len returns the number of live vectors currently searchable.
+func (x *Index) Len() int { return x.cur.Load().liveLen() }
+
+// NextID returns the global ID the next Insert will assign.
+func (x *Index) NextID() int { return x.cur.Load().nextID }
+
+// Insert appends v to the delta segment and returns its global ID. The
+// vector is searchable the moment Insert returns; the reconfiguration that
+// folds it into the compiled base is deferred to the next compaction.
+func (x *Index) Insert(ctx context.Context, v bitvec.Vector) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, aperr.Canceled(err)
+	}
+	if v.Dim() != x.dim {
+		return 0, fmt.Errorf("live: vector dim %d != index dim %d: %w", v.Dim(), x.dim, aperr.ErrDimMismatch)
+	}
+	x.mu.Lock()
+	id := x.store.append(v)
+	old := x.cur.Load()
+	next := *old
+	next.delta = x.store.snapshot()
+	next.nextID = id + 1
+	x.cur.Store(&next)
+	x.mu.Unlock()
+	x.inserts.Add(1)
+	x.maybeNotify(&next)
+	return id, nil
+}
+
+// Delete tombstones the vector with the given global ID. It returns
+// aperr.ErrNotFound if the ID was never assigned or is already deleted.
+// The vector stops appearing in results the moment Delete returns; its
+// storage is reclaimed by the next compaction.
+func (x *Index) Delete(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return aperr.Canceled(err)
+	}
+	x.mu.Lock()
+	old := x.cur.Load()
+	if _, dead := old.tomb[id]; dead {
+		x.mu.Unlock()
+		return fmt.Errorf("live: id %d already deleted: %w", id, aperr.ErrNotFound)
+	}
+	inBase := old.base != nil && old.base.contains(id)
+	if !inBase && !old.delta.contains(id) {
+		x.mu.Unlock()
+		return fmt.Errorf("live: id %d: %w", id, aperr.ErrNotFound)
+	}
+	tomb := make(map[int]struct{}, len(old.tomb)+1)
+	for t := range old.tomb {
+		tomb[t] = struct{}{}
+	}
+	tomb[id] = struct{}{}
+	next := *old
+	next.tomb = tomb
+	if inBase {
+		next.baseTombs++
+	}
+	x.cur.Store(&next)
+	x.mu.Unlock()
+	x.deletes.Add(1)
+	x.maybeNotify(&next)
+	return nil
+}
+
+// maybeNotify wakes the background compactor when the pending churn has
+// reached the threshold.
+func (x *Index) maybeNotify(v *view) {
+	if x.opts.CompactThreshold < 0 || v.churn() < x.opts.CompactThreshold {
+		return
+	}
+	select {
+	case x.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Search returns the k nearest live neighbors of each query: the base
+// index's results (over-fetched past the base tombstones, remapped to
+// global IDs, filtered) merged with an exact scan of the delta segment,
+// through the same (Dist, ID) tie-break every engine in this repository
+// uses. The snapshot is taken once — mutations and compactions that land
+// mid-search do not tear the result.
+func (x *Index) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("live: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	for i, q := range queries {
+		if q.Dim() != x.dim {
+			return nil, fmt.Errorf("live: query %d dim %d != index dim %d: %w", i, q.Dim(), x.dim, aperr.ErrDimMismatch)
+		}
+	}
+	v := x.cur.Load()
+	results := make([][]knn.Neighbor, len(queries))
+	if v.base != nil {
+		// Over-fetch by the base tombstone count: the top k+baseTombs of
+		// the base always contain at least k live vectors (or the whole
+		// base, if it is smaller).
+		bres, err := v.base.searcher.Search(ctx, queries, k+v.baseTombs)
+		if err != nil {
+			return nil, err
+		}
+		for qi, ns := range bres {
+			kept := make([]knn.Neighbor, 0, min(k, len(ns)))
+			for _, n := range ns {
+				gid := v.base.globalID(n.ID)
+				if _, dead := v.tomb[gid]; dead {
+					continue
+				}
+				kept = append(kept, knn.Neighbor{ID: gid, Dist: n.Dist})
+				if len(kept) == k {
+					break
+				}
+			}
+			results[qi] = kept
+		}
+	}
+	if v.delta.Len() > 0 {
+		for qi, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, aperr.Canceled(err)
+			}
+			results[qi] = knn.MergeTopK(results[qi], v.scanDelta(q, k), k)
+		}
+		x.deltaScanNS.Add(int64(x.opts.ScanCost(v.delta.Len(), len(queries), x.dim)))
+	}
+	if v.base == nil {
+		// All-deleted base: results are delta-only; normalize nils so every
+		// query still gets a (possibly empty) list.
+		for qi := range results {
+			if results[qi] == nil {
+				results[qi] = []knn.Neighbor{}
+			}
+		}
+	}
+	x.searches.Add(1)
+	if v.churn() > 0 {
+		x.mixedSearches.Add(1)
+	}
+	return results, nil
+}
+
+// scanDelta is the exact XOR+POPCOUNT scan of one query over the visible,
+// non-tombstoned delta entries of a snapshot.
+func (v *view) scanDelta(q bitvec.Vector, k int) []knn.Neighbor {
+	qw := q.Words()
+	found := make([]knn.Neighbor, 0, v.delta.Len())
+	for i := 0; i < v.delta.Len(); i++ {
+		gid := v.delta.FirstID() + i
+		if _, dead := v.tomb[gid]; dead {
+			continue
+		}
+		d := 0
+		for wi, w := range v.delta.words(i) {
+			d += bits.OnesCount64(w ^ qw[wi])
+		}
+		found = append(found, knn.Neighbor{ID: gid, Dist: d})
+	}
+	knn.SortNeighbors(found)
+	if len(found) > k {
+		found = found[:k]
+	}
+	return found
+}
+
+// Compact synchronously folds the current delta segment and tombstone set
+// into a freshly compiled base and swaps it in. Searches keep running
+// against the old view during the compile and see the new one atomically.
+// Mutations that land while the compile is running survive into the new
+// view's delta/tombstones. A no-churn Compact is a no-op.
+func (x *Index) Compact(ctx context.Context) error {
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return aperr.Canceled(err)
+	}
+	snap := x.cur.Load()
+	if snap.churn() == 0 {
+		return nil
+	}
+	// Build the survivor dataset in ascending global-ID order — base IDs
+	// all precede delta IDs — so the compiled index's internal order, and
+	// therefore its (Dist, internalID) tie-breaks, match the global order.
+	survivors := bitvec.NewDataset(x.dim)
+	ids := make([]int, 0, snap.liveLen())
+	if snap.base != nil {
+		for i := 0; i < snap.base.size(); i++ {
+			gid := snap.base.globalID(i)
+			if _, dead := snap.tomb[gid]; dead {
+				continue
+			}
+			survivors.Append(snap.base.ds.At(i))
+			ids = append(ids, gid)
+		}
+	}
+	for i := 0; i < snap.delta.Len(); i++ {
+		gid := snap.delta.FirstID() + i
+		if _, dead := snap.tomb[gid]; dead {
+			continue
+		}
+		survivors.Append(snap.delta.vector(i))
+		ids = append(ids, gid)
+	}
+	var newBase *baseGen
+	var reconfig time.Duration
+	if survivors.Len() > 0 {
+		searcher, err := x.compile(survivors)
+		if err != nil {
+			err = fmt.Errorf("live: compact compile: %w", err)
+			x.lastCompactErr = err
+			return err
+		}
+		if identity(ids) {
+			ids = nil
+		}
+		newBase = &baseGen{searcher: searcher, ds: survivors, ids: ids}
+		if x.opts.ReconfigCost != nil {
+			reconfig = x.opts.ReconfigCost(searcher.Partitions())
+		}
+	}
+	// Swap: everything that mutated while the compile ran — inserts past
+	// the snapshot's delta length, tombstones not in the snapshot's set —
+	// carries over into the new view.
+	x.mu.Lock()
+	cur := x.cur.Load()
+	fresh := newDelta(x.dim, snap.nextID)
+	for i := snap.delta.Len(); i < cur.delta.Len(); i++ {
+		fresh.append(cur.delta.vector(i))
+	}
+	tomb := map[int]struct{}{}
+	baseTombs := 0
+	for t := range cur.tomb {
+		if _, folded := snap.tomb[t]; folded {
+			continue
+		}
+		tomb[t] = struct{}{}
+		if newBase != nil && newBase.contains(t) {
+			baseTombs++
+		}
+	}
+	next := &view{
+		base:      newBase,
+		delta:     fresh.snapshot(),
+		tomb:      tomb,
+		baseTombs: baseTombs,
+		nextID:    cur.nextID,
+	}
+	x.store = fresh
+	x.cur.Store(next)
+	x.mu.Unlock()
+	// Retire the old generation's modeled meter into the accumulator; the
+	// brief tail a search still in flight on the old view accrues after
+	// this sample is accepted accounting slack.
+	if snap.base != nil {
+		x.retiredNS.Add(int64(snap.base.searcher.ModeledTime()))
+	}
+	x.reconfigNS.Add(int64(reconfig))
+	x.compactions.Add(1)
+	x.generation.Add(1)
+	x.lastCompactErr = nil
+	return nil
+}
+
+// identity reports whether ids is exactly [0, len).
+func identity(ids []int) bool {
+	for i, id := range ids {
+		if id != i {
+			return false
+		}
+	}
+	return true
+}
+
+// compactor is the background loop: it folds churn when the threshold
+// notification fires or the max-staleness ticker does.
+func (x *Index) compactor() {
+	defer x.wg.Done()
+	var tick <-chan time.Time
+	if x.opts.CompactInterval > 0 {
+		t := time.NewTicker(x.opts.CompactInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-x.closed:
+			return
+		case <-x.notify:
+		case <-tick:
+		}
+		// Compile errors are kept for Stats/Compact callers; the loop keeps
+		// serving the old generation either way.
+		_ = x.Compact(context.Background())
+	}
+}
+
+// Close stops the background compactor. The index remains searchable and
+// mutable afterwards; only automatic compaction stops.
+func (x *Index) Close() error {
+	x.closeOnce.Do(func() {
+		close(x.closed)
+		x.wg.Wait()
+	})
+	return nil
+}
+
+// CompactErr returns the most recent background compaction failure, nil
+// after a success.
+func (x *Index) CompactErr() error {
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+	return x.lastCompactErr
+}
+
+// Base returns the current generation's compiled backend index, or nil when
+// every base vector is deleted — apknn merges its counters into Stats.
+func (x *Index) Base() Searcher {
+	if b := x.cur.Load().base; b != nil {
+		return b.searcher
+	}
+	return nil
+}
+
+// ModeledTime returns the accumulated modeled wall-clock of the live index:
+// the current base's meter, every retired generation's meter at the moment
+// it was swapped out, the CPU cost of the delta scans, and the
+// reconfiguration sweeps the compactions charged.
+func (x *Index) ModeledTime() time.Duration {
+	t := time.Duration(x.retiredNS.Load() + x.deltaScanNS.Load() + x.reconfigNS.Load())
+	if b := x.Base(); b != nil {
+		t += b.ModeledTime()
+	}
+	return t
+}
+
+// Snapshot is the point-in-time counter block behind apknn's LiveStats.
+type Snapshot struct {
+	Inserts       int64
+	Deletes       int64
+	Searches      int64
+	MixedSearches int64
+	Compactions   int64
+	Generation    int64
+	BaseSize      int
+	DeltaSize     int
+	Tombstones    int
+	NextID        int
+	ReconfigTime  time.Duration
+	DeltaScanTime time.Duration
+}
+
+// Stats snapshots the live-layer counters.
+func (x *Index) Stats() Snapshot {
+	v := x.cur.Load()
+	s := Snapshot{
+		Inserts:       x.inserts.Load(),
+		Deletes:       x.deletes.Load(),
+		Searches:      x.searches.Load(),
+		MixedSearches: x.mixedSearches.Load(),
+		Compactions:   x.compactions.Load(),
+		Generation:    x.generation.Load(),
+		DeltaSize:     v.delta.Len(),
+		Tombstones:    len(v.tomb),
+		NextID:        v.nextID,
+		ReconfigTime:  time.Duration(x.reconfigNS.Load()),
+		DeltaScanTime: time.Duration(x.deltaScanNS.Load()),
+	}
+	if v.base != nil {
+		s.BaseSize = v.base.size()
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

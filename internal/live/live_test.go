@@ -1,0 +1,486 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/knn"
+	"repro/internal/stats"
+)
+
+// compileCPU is the test backend: an exact linear scan with the shared
+// tie-break, no modeled time, one "partition" per capacity-sized range so
+// the reconfiguration accounting has something to charge.
+func compileCPU(t *testing.T) CompileFunc {
+	return func(ds *bitvec.Dataset) (Searcher, error) {
+		return &cpuSearcher{ds: ds}, nil
+	}
+}
+
+type cpuSearcher struct {
+	ds      *bitvec.Dataset
+	modeled atomic.Int64
+}
+
+func (c *cpuSearcher) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][]knn.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, aperr.Canceled(err)
+	}
+	out := make([][]knn.Neighbor, len(queries))
+	for i, q := range queries {
+		out[i] = knn.Linear(c.ds, q, k)
+	}
+	c.modeled.Add(int64(time.Duration(len(queries)) * time.Microsecond))
+	return out, nil
+}
+
+func (c *cpuSearcher) ModeledTime() time.Duration { return time.Duration(c.modeled.Load()) }
+
+func (c *cpuSearcher) Partitions() int { return (c.ds.Len() + 1023) / 1024 }
+
+// mirror is the brute-force reference the property test compares against:
+// a plain map of live vectors searched by full scan + sort.
+type mirror struct {
+	dim  int
+	vecs map[int]bitvec.Vector
+}
+
+func newMirror(ds *bitvec.Dataset) *mirror {
+	m := &mirror{dim: ds.Dim(), vecs: make(map[int]bitvec.Vector, ds.Len())}
+	for i := 0; i < ds.Len(); i++ {
+		m.vecs[i] = ds.At(i).Clone()
+	}
+	return m
+}
+
+func (m *mirror) insert(id int, v bitvec.Vector) { m.vecs[id] = v.Clone() }
+
+func (m *mirror) delete(id int) bool {
+	if _, ok := m.vecs[id]; !ok {
+		return false
+	}
+	delete(m.vecs, id)
+	return true
+}
+
+func (m *mirror) search(q bitvec.Vector, k int) []knn.Neighbor {
+	all := make([]knn.Neighbor, 0, len(m.vecs))
+	for id, v := range m.vecs {
+		all = append(all, knn.Neighbor{ID: id, Dist: v.Hamming(q)})
+	}
+	knn.SortNeighbors(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func neighborsEqual(a, b []knn.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLiveChurnProperty interleaves Insert/Delete/Search against the
+// brute-force mirror and asserts byte-identical top-k — including
+// tie-stability around tombstoned IDs — across dimensionalities, with a
+// compaction forced mid-stream and the background threshold compactor
+// armed low enough to fire on its own.
+func TestLiveChurnProperty(t *testing.T) {
+	for _, dim := range []int{32, 128} {
+		dim := dim
+		t.Run(fmt.Sprintf("dim%d", dim), func(t *testing.T) {
+			rng := stats.NewRNG(uint64(1000 + dim))
+			const n0, ops = 200, 600
+			ds := bitvec.RandomDataset(rng, n0, dim)
+			idx, err := New(ds, compileCPU(t), Options{CompactThreshold: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer idx.Close()
+			m := newMirror(ds)
+			ctx := context.Background()
+
+			liveIDs := make([]int, 0, n0+ops)
+			for i := 0; i < n0; i++ {
+				liveIDs = append(liveIDs, i)
+			}
+			checks := 0
+			for op := 0; op < ops; op++ {
+				switch c := rng.Intn(10); {
+				case c < 4: // insert
+					v := bitvec.Random(rng, dim)
+					id, err := idx.Insert(ctx, v)
+					if err != nil {
+						t.Fatalf("op %d: insert: %v", op, err)
+					}
+					m.insert(id, v)
+					liveIDs = append(liveIDs, id)
+				case c < 6 && len(liveIDs) > 0: // delete
+					i := rng.Intn(len(liveIDs))
+					id := liveIDs[i]
+					liveIDs[i] = liveIDs[len(liveIDs)-1]
+					liveIDs = liveIDs[:len(liveIDs)-1]
+					if err := idx.Delete(ctx, id); err != nil {
+						t.Fatalf("op %d: delete %d: %v", op, id, err)
+					}
+					if !m.delete(id) {
+						t.Fatalf("op %d: mirror missing id %d", op, id)
+					}
+					// A second delete of the same ID must report not-found.
+					if err := idx.Delete(ctx, id); !errors.Is(err, aperr.ErrNotFound) {
+						t.Fatalf("op %d: double delete %d: got %v, want ErrNotFound", op, id, err)
+					}
+				default: // search
+					q := bitvec.Random(rng, dim)
+					k := 1 + rng.Intn(10)
+					got, err := idx.Search(ctx, []bitvec.Vector{q}, k)
+					if err != nil {
+						t.Fatalf("op %d: search: %v", op, err)
+					}
+					want := m.search(q, k)
+					if !neighborsEqual(got[0], want) {
+						t.Fatalf("op %d (k=%d, %d live): got %v, want %v",
+							op, k, idx.Len(), got[0], want)
+					}
+					checks++
+				}
+				if op == ops/2 {
+					// Mid-stream compaction; results must stay identical.
+					if err := idx.Compact(ctx); err != nil {
+						t.Fatalf("op %d: compact: %v", op, err)
+					}
+				}
+				if idx.Len() != len(m.vecs) {
+					t.Fatalf("op %d: Len=%d, mirror=%d", op, idx.Len(), len(m.vecs))
+				}
+			}
+			if checks == 0 {
+				t.Fatal("property stream never searched")
+			}
+			// Settle: a final compaction folds every tombstone; the result
+			// set must still match the mirror exactly.
+			if err := idx.Compact(ctx); err != nil {
+				t.Fatal(err)
+			}
+			q := bitvec.Random(rng, dim)
+			got, err := idx.Search(ctx, []bitvec.Vector{q}, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := m.search(q, 10); !neighborsEqual(got[0], want) {
+				t.Fatalf("post-compact: got %v, want %v", got[0], want)
+			}
+			st := idx.Stats()
+			if st.Compactions < 2 {
+				t.Fatalf("expected at least the 2 forced compactions, got %d", st.Compactions)
+			}
+			if st.DeltaSize != 0 || st.Tombstones != 0 {
+				t.Fatalf("post-compact churn not folded: %+v", st)
+			}
+		})
+	}
+}
+
+// TestLiveTombstoneTieStability pins the tie-break contract the merge must
+// preserve: equidistant vectors order by ID, and tombstoning one of a tie
+// group promotes exactly the next ID, before and after compaction.
+func TestLiveTombstoneTieStability(t *testing.T) {
+	const dim = 32
+	base := bitvec.New(dim) // all zeros
+	ds := bitvec.NewDataset(dim)
+	for i := 0; i < 4; i++ {
+		ds.Append(base.Clone()) // ids 0..3, all identical
+	}
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+
+	// Two more identical vectors through the delta path: ids 4, 5.
+	for i := 0; i < 2; i++ {
+		if _, err := idx.Insert(ctx, base.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := base.Clone()
+	want := []knn.Neighbor{{ID: 0, Dist: 0}, {ID: 1, Dist: 0}, {ID: 2, Dist: 0}}
+	got, err := idx.Search(ctx, []bitvec.Vector{q}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neighborsEqual(got[0], want) {
+		t.Fatalf("tie order: got %v, want %v", got[0], want)
+	}
+	// Tombstone the middle of the tie group: ID 1 must vanish, ID 3 must
+	// slide in — the over-fetch past baseTombs is what makes this exact.
+	if err := idx.Delete(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	want = []knn.Neighbor{{ID: 0, Dist: 0}, {ID: 2, Dist: 0}, {ID: 3, Dist: 0}}
+	got, err = idx.Search(ctx, []bitvec.Vector{q}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neighborsEqual(got[0], want) {
+		t.Fatalf("tie order after tombstone: got %v, want %v", got[0], want)
+	}
+	// Compaction must not renumber: global IDs survive the rebuild.
+	if err := idx.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err = idx.Search(ctx, []bitvec.Vector{q}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []knn.Neighbor{{ID: 0, Dist: 0}, {ID: 2, Dist: 0}, {ID: 3, Dist: 0}, {ID: 4, Dist: 0}, {ID: 5, Dist: 0}}
+	if !neighborsEqual(got[0], want) {
+		t.Fatalf("ids after compaction: got %v, want %v", got[0], want)
+	}
+}
+
+// TestLiveConcurrentChurn hammers Search, Insert, Delete and Compact from
+// parallel goroutines — the -race workout for the RCU swap and the
+// snapshot stability of the delta segment.
+func TestLiveConcurrentChurn(t *testing.T) {
+	const dim, n0 = 64, 256
+	rng := stats.NewRNG(7)
+	ds := bitvec.RandomDataset(rng, n0, dim)
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	const writers, searchers, each = 4, 4, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(100 + w))
+			for i := 0; i < each; i++ {
+				id, err := idx.Insert(ctx, bitvec.Random(r, dim))
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if err := idx.Delete(ctx, id); err != nil {
+						t.Errorf("delete %d: %v", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(200 + s))
+			for i := 0; i < each; i++ {
+				res, err := idx.Search(ctx, []bitvec.Vector{bitvec.Random(r, dim)}, 5)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				// The snapshot can never shrink below the seed minus its
+				// deletes; 5 live vectors always exist here.
+				if len(res[0]) != 5 {
+					t.Errorf("search returned %d results, want 5", len(res[0]))
+					return
+				}
+				prev := knn.Neighbor{ID: -1, Dist: -1}
+				for _, nb := range res[0] {
+					if !prev.Less(nb) {
+						t.Errorf("unsorted result %v after %v", nb, prev)
+						return
+					}
+					prev = nb
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := idx.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	wantLive := n0 + writers*each - writers*((each+2)/3)
+	if got := idx.Len(); got != wantLive {
+		t.Fatalf("live count %d, want %d (stats %+v)", got, wantLive, st)
+	}
+	if st.Inserts != writers*each {
+		t.Fatalf("inserts %d, want %d", st.Inserts, writers*each)
+	}
+}
+
+// TestLiveErrors covers the sentinel paths: bad k, dim mismatch, unknown
+// and double deletes, empty seed.
+func TestLiveErrors(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ds := bitvec.RandomDataset(rng, 16, 32)
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+	if _, err := idx.Search(ctx, []bitvec.Vector{bitvec.Random(rng, 32)}, 0); !errors.Is(err, aperr.ErrBadK) {
+		t.Errorf("k=0: got %v", err)
+	}
+	if _, err := idx.Search(ctx, []bitvec.Vector{bitvec.Random(rng, 64)}, 3); !errors.Is(err, aperr.ErrDimMismatch) {
+		t.Errorf("dim mismatch search: got %v", err)
+	}
+	if _, err := idx.Insert(ctx, bitvec.Random(rng, 64)); !errors.Is(err, aperr.ErrDimMismatch) {
+		t.Errorf("dim mismatch insert: got %v", err)
+	}
+	if err := idx.Delete(ctx, 99); !errors.Is(err, aperr.ErrNotFound) {
+		t.Errorf("delete unknown: got %v", err)
+	}
+	if err := idx.Delete(ctx, -1); !errors.Is(err, aperr.ErrNotFound) {
+		t.Errorf("delete negative: got %v", err)
+	}
+	if _, err := New(bitvec.NewDataset(8), compileCPU(t), Options{}); !errors.Is(err, aperr.ErrEmptyDataset) {
+		t.Errorf("empty seed: got %v", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := idx.Insert(canceled, bitvec.Random(rng, 32)); !errors.Is(err, aperr.ErrCanceled) {
+		t.Errorf("canceled insert: got %v", err)
+	}
+}
+
+// TestLiveDeleteEverything drives the index down to zero vectors and back:
+// searches against an all-deleted index return empty result sets, a
+// compaction of an empty survivor set parks the base at nil, and inserts
+// repopulate it.
+func TestLiveDeleteEverything(t *testing.T) {
+	rng := stats.NewRNG(5)
+	const dim = 32
+	ds := bitvec.RandomDataset(rng, 8, dim)
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+	for id := 0; id < 8; id++ {
+		if err := idx.Delete(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := idx.Search(ctx, []bitvec.Vector{bitvec.Random(rng, dim)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != 0 {
+		t.Fatalf("all-deleted search returned %v", res[0])
+	}
+	if err := idx.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("Len=%d after deleting everything", idx.Len())
+	}
+	res, err = idx.Search(ctx, []bitvec.Vector{bitvec.Random(rng, dim)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != 0 {
+		t.Fatalf("post-compact empty search returned %v", res[0])
+	}
+	// Repopulate through the delta path and compact back into a base.
+	v := bitvec.Random(rng, dim)
+	id, err := idx.Insert(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 {
+		t.Fatalf("id after wipe = %d, want 8 (never reused)", id)
+	}
+	if err := idx.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err = idx.Search(ctx, []bitvec.Vector{v}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != 1 || res[0][0].ID != 8 || res[0][0].Dist != 0 {
+		t.Fatalf("reborn index search = %v", res[0])
+	}
+}
+
+// TestLiveBackgroundCompaction proves the threshold trigger fires without
+// any explicit Compact call.
+func TestLiveBackgroundCompaction(t *testing.T) {
+	rng := stats.NewRNG(9)
+	const dim = 32
+	ds := bitvec.RandomDataset(rng, 32, dim)
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := idx.Insert(ctx, bitvec.Random(rng, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if idx.Stats().Compactions > 0 {
+			if got := idx.Stats().BaseSize; got != 48 {
+				t.Fatalf("base size after background compaction = %d, want 48", got)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background compaction never fired")
+}
+
+// TestLiveStaleTimerCompaction proves the max-staleness interval folds
+// churn that never reaches the threshold.
+func TestLiveStaleTimerCompaction(t *testing.T) {
+	rng := stats.NewRNG(11)
+	const dim = 32
+	ds := bitvec.RandomDataset(rng, 32, dim)
+	idx, err := New(ds, compileCPU(t), Options{
+		CompactThreshold: 1 << 20, // unreachable
+		CompactInterval:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if _, err := idx.Insert(context.Background(), bitvec.Random(rng, dim)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if idx.Stats().Compactions > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("staleness timer never compacted")
+}

@@ -54,6 +54,8 @@ type counters struct {
 	rejected        atomic.Int64
 	expired         atomic.Int64
 	batchedQueries  atomic.Int64
+	inserts         atomic.Int64
+	deletes         atomic.Int64
 }
 
 func (c *counters) snapshot() apknn.ServingStats {
@@ -67,6 +69,8 @@ func (c *counters) snapshot() apknn.ServingStats {
 		FlushesOnClose:    c.flushesClose.Load(),
 		Rejected:          c.rejected.Load(),
 		Expired:           c.expired.Load(),
+		Inserts:           c.inserts.Load(),
+		Deletes:           c.deletes.Load(),
 	}
 	if st.Flushes > 0 {
 		st.MeanBatch = float64(c.batchedQueries.Load()) / float64(st.Flushes)

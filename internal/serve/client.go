@@ -89,6 +89,24 @@ func (c *Client) SearchBatch(ctx context.Context, queries []apknn.Vector, k int)
 	return results, nil
 }
 
+// Insert adds one vector to a live apserve instance and returns the global
+// ID it was assigned. A server not started with -live answers 501.
+func (c *Client) Insert(ctx context.Context, v apknn.Vector) (int, error) {
+	var out InsertResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/insert", InsertRequest{Vector: v.String()}, &out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+// Delete tombstones the vector with the given global ID on a live apserve
+// instance. An unknown or already-deleted ID is an *APIError with Status
+// 404.
+func (c *Client) Delete(ctx context.Context, id int) error {
+	var out DeleteResponse
+	return c.do(ctx, http.MethodPost, "/v1/delete", DeleteRequest{ID: id}, &out)
+}
+
 // Stats fetches the live backend and serving-layer counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	apknn "repro"
+)
+
+// newLiveTestServer serves an OpenLive index over an in-process listener.
+func newLiveTestServer(t *testing.T, opts ...apknn.Option) (*Client, *Server, *apknn.LiveIndex, *apknn.Dataset) {
+	t.Helper()
+	ds := apknn.RandomDataset(17, 500, 32)
+	opts = append([]apknn.Option{apknn.WithBackend(apknn.Fast)}, opts...)
+	idx, err := apknn.OpenLive(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, Config{Dim: ds.Dim(), BatchWindow: 0})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := idx.Close(); err != nil {
+			t.Errorf("index close: %v", err)
+		}
+	})
+	return &Client{BaseURL: ts.URL}, srv, idx, ds
+}
+
+// TestInsertSearchDeleteLifecycle drives the full mutation lifecycle over
+// real HTTP: an inserted vector becomes searchable at distance zero, a
+// delete makes it vanish, and the counters record both.
+func TestInsertSearchDeleteLifecycle(t *testing.T) {
+	client, srv, _, ds := newLiveTestServer(t)
+	ctx := context.Background()
+	v := apknn.RandomQueries(99, 1, 32)[0]
+
+	id, err := client.Insert(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ds.Len() {
+		t.Fatalf("inserted id = %d, want %d (first past the seed)", id, ds.Len())
+	}
+	found := func() bool {
+		resp, err := client.Search(ctx, v, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range resp.Neighbors {
+			if n.ID == id {
+				if n.Dist != 0 {
+					t.Fatalf("inserted vector at distance %d", n.Dist)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if !found() {
+		t.Fatal("inserted vector not returned by search")
+	}
+	if err := client.Delete(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if found() {
+		t.Fatal("deleted vector still returned by search")
+	}
+	// Deleting again is a 404 that errors.As can unpack.
+	err = client.Delete(ctx, id)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("double delete: got %v, want 404 APIError", err)
+	}
+	st := srv.Stats()
+	if st.Inserts != 1 || st.Deletes != 1 {
+		t.Fatalf("serving counters: %+v", st)
+	}
+	var stats *StatsResponse
+	if stats, err = client.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend.Live == nil {
+		t.Fatal("stats missing live block")
+	}
+	if stats.Backend.Live.Inserts != 1 || stats.Backend.Live.Deletes != 1 {
+		t.Fatalf("live stats: %+v", stats.Backend.Live)
+	}
+}
+
+// TestMutationsOnStaticIndexAnswer501 pins the non-live behavior: the
+// endpoints exist but refuse with 501 and a pointer at -live.
+func TestMutationsOnStaticIndexAnswer501(t *testing.T) {
+	client, _, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+	v := apknn.RandomQueries(99, 1, 32)[0]
+	_, err := client.Insert(ctx, v)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotImplemented {
+		t.Fatalf("insert on static index: got %v, want 501", err)
+	}
+	if err := client.Delete(ctx, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotImplemented {
+		t.Fatalf("delete on static index: got %v, want 501", err)
+	}
+}
+
+// TestInsertValidation covers the handler's reject paths: bad JSON, bad
+// bit strings, wrong dimensionality.
+func TestInsertValidation(t *testing.T) {
+	client, _, _, _ := newLiveTestServer(t)
+	ctx := context.Background()
+	var apiErr *APIError
+
+	_, err := client.Insert(ctx, apknn.RandomQueries(1, 1, 64)[0]) // wrong dim
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("wrong-dim insert: got %v, want 400", err)
+	}
+	resp, err := http.Post(client.BaseURL+"/v1/insert", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body insert: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(client.BaseURL + "/v1/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET insert: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestLiveServedSearchMatchesExact checks the serving path end to end
+// after churn: post-insert/delete searches through the micro-batcher are
+// byte-identical to an exact scan of the mutated vector set.
+func TestLiveServedSearchMatchesExact(t *testing.T) {
+	client, _, idx, ds := newLiveTestServer(t, apknn.WithCompactThreshold(-1))
+	ctx := context.Background()
+	const k = 5
+
+	// Mirror dataset: seed plus inserts, minus one deleted seed vector.
+	inserts := apknn.RandomQueries(55, 20, 32)
+	for _, v := range inserts {
+		if _, err := client.Insert(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Delete(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	mirror := apknn.RandomDataset(1, 0, 32)
+	ids := []int{}
+	for i := 0; i < ds.Len(); i++ {
+		if i == 3 {
+			continue
+		}
+		mirror.Append(ds.At(i))
+		ids = append(ids, i)
+	}
+	for j, v := range inserts {
+		mirror.Append(v)
+		ids = append(ids, ds.Len()+j)
+	}
+	queries := apknn.RandomQueries(56, 6, 32)
+	exact := apknn.ExactSearch(mirror, queries, k, 2)
+	for qi, q := range queries {
+		resp, err := client.Search(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Neighbors(resp.Neighbors)
+		if len(got) != len(exact[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(exact[qi]))
+		}
+		for j := range got {
+			want := apknn.Neighbor{ID: ids[exact[qi][j].ID], Dist: exact[qi][j].Dist}
+			if got[j] != want {
+				t.Fatalf("query %d rank %d: got %v, want %v", qi, j, got[j], want)
+			}
+		}
+	}
+	// Compact and re-verify: the served results must not change shape.
+	if err := idx.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		resp, err := client.Search(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Neighbors(resp.Neighbors)
+		for j := range got {
+			want := apknn.Neighbor{ID: ids[exact[qi][j].ID], Dist: exact[qi][j].Dist}
+			if got[j] != want {
+				t.Fatalf("post-compact query %d rank %d: got %v, want %v", qi, j, got[j], want)
+			}
+		}
+	}
+}

@@ -72,10 +72,19 @@ func DefaultConfig() Config {
 	return Config{BatchWindow: DefaultBatchWindow}.withDefaults()
 }
 
+// Mutable is the write surface of a live index. apknn.LiveIndex implements
+// it; a Server whose Index also implements Mutable serves /v1/insert and
+// /v1/delete, otherwise those endpoints answer 501.
+type Mutable interface {
+	Insert(ctx context.Context, v apknn.Vector) (int, error)
+	Delete(ctx context.Context, id int) error
+}
+
 // Server serves one compiled Index over the /v1 HTTP JSON API. Create it
 // with New, mount Handler on any http.Server, and Close it to drain.
 type Server struct {
 	idx      apknn.Index
+	mut      Mutable // non-nil when idx is a live index
 	cfg      Config
 	batcher  *batcher
 	inflight chan struct{}
@@ -85,7 +94,9 @@ type Server struct {
 }
 
 // New builds a Server around an already-opened Index. The Index must be
-// safe for concurrent use (every apknn backend is).
+// safe for concurrent use (every apknn backend is). An Index that also
+// implements Mutable — apknn.OpenLive's — additionally gets the /v1/insert
+// and /v1/delete endpoints.
 func New(idx apknn.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -93,10 +104,13 @@ func New(idx apknn.Index, cfg Config) *Server {
 		cfg:      cfg,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.mut, _ = idx.(Mutable)
 	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, &s.ctrs)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/search_batch", s.handleSearchBatch)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -268,6 +282,81 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleInsert serves POST /v1/insert on a live index: the vector lands in
+// the delta segment and is searchable the moment the response is written;
+// the board reconfiguration is deferred to the next compaction.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	mut, release := s.admitMutation(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	var body InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	v, err := apknn.ParseVector(body.Vector)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vector: "+err.Error())
+		return
+	}
+	if s.cfg.Dim > 0 && v.Dim() != s.cfg.Dim {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"vector has %d bits, dataset has %d: %v", v.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
+		return
+	}
+	id, err := mut.Insert(r.Context(), v)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	s.ctrs.inserts.Add(1)
+	writeJSON(w, http.StatusOK, InsertResponse{ID: id})
+}
+
+// handleDelete serves POST /v1/delete on a live index: the ID is
+// tombstoned and stops appearing in results immediately; storage is
+// reclaimed by the next compaction.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	mut, release := s.admitMutation(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	var body DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if err := mut.Delete(r.Context(), body.ID); err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	s.ctrs.deletes.Add(1)
+	writeJSON(w, http.StatusOK, DeleteResponse{ID: body.ID, Deleted: true})
+}
+
+// admitMutation is the shared front door of the mutation endpoints: POST
+// only, 501 when the served index is not live, then the same admission
+// control searches pass through.
+func (s *Server) admitMutation(w http.ResponseWriter, r *http.Request) (Mutable, func()) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil, nil
+	}
+	if s.mut == nil {
+		writeError(w, http.StatusNotImplemented,
+			"index is not live: start apserve with -live to enable mutations")
+		return nil, nil
+	}
+	release := s.admit(w)
+	if release == nil {
+		return nil, nil
+	}
+	return s.mut, release
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -300,11 +389,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusFor maps engine errors onto HTTP statuses: caller mistakes are
-// 400s, deadline/cancellation is 504, anything else is a 500.
+// 400s, a missing ID is 404, deadline/cancellation is 504, anything else
+// is a 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, apknn.ErrDimMismatch), errors.Is(err, apknn.ErrBadK):
 		return http.StatusBadRequest
+	case errors.Is(err, apknn.ErrNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, apknn.ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):

@@ -50,6 +50,35 @@ type SearchBatchResponse struct {
 	Neighbors [][]Neighbor `json:"neighbors"`
 }
 
+// InsertRequest is the body of POST /v1/insert: one vector to add to a
+// live (mutable) index.
+type InsertRequest struct {
+	// Vector is the bit-string vector to insert; its length must equal the
+	// served dataset's dimensionality.
+	Vector string `json:"vector"`
+}
+
+// InsertResponse answers POST /v1/insert.
+type InsertResponse struct {
+	// ID is the global ID assigned to the inserted vector — stable across
+	// compactions, never reused.
+	ID int `json:"id"`
+}
+
+// DeleteRequest is the body of POST /v1/delete.
+type DeleteRequest struct {
+	// ID is the global ID to delete (a seed, loaded, or inserted vector).
+	ID int `json:"id"`
+}
+
+// DeleteResponse answers POST /v1/delete.
+type DeleteResponse struct {
+	ID int `json:"id"`
+	// Deleted confirms the tombstone landed; an unknown or already-deleted
+	// ID answers 404 instead.
+	Deleted bool `json:"deleted"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	// Backend is the served Index's own counters.

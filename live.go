@@ -1,0 +1,188 @@
+package apknn
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/live"
+)
+
+// LiveIndex is a mutable Index: the compiled base the selected backend
+// built, overlaid with a delta segment of recent Inserts and a tombstone
+// set of Deletes, recompiled in the background once churn accumulates.
+//
+// Search and SearchBatch behave exactly like a freshly compiled index over
+// the current live vector set — base and delta results merge through the
+// shared (Dist, ID) tie-break with tombstones filtered — and never block on
+// mutations or on a compaction in flight: the compactor builds the new base
+// off to the side and swaps it in behind an atomic pointer (RCU). Modeled
+// time stays honest about churn: delta scans charge the calibrated CPU scan
+// model, and each compaction charges the backend's reconfiguration sweep
+// (partitions x reconfiguration latency for the board-backed backends, the
+// cost the paper's model assigns to a dataset change).
+type LiveIndex struct {
+	kind BackendKind
+	eng  *live.Index
+	ctrs counters
+}
+
+// OpenLive compiles ds for the selected backend like Open, but returns a
+// mutable index. The seed dataset must be non-empty and must not be mutated
+// by the caller afterwards; new vectors enter through Insert. Close stops
+// the background compactor when the index is no longer needed.
+func OpenLive(ds *Dataset, opts ...Option) (*LiveIndex, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("apknn: %w", aperr.ErrEmptyDataset)
+	}
+	cfg := Config{Backend: AP, Seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	backendsMu.RLock()
+	b, ok := backends[cfg.Backend]
+	backendsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("apknn: %w %q (registered: %v)", aperr.ErrUnknownBackend, cfg.Backend, Backends())
+	}
+	compile := func(sub *bitvec.Dataset) (live.Searcher, error) {
+		idx, err := b.Compile(sub, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return liveSearcher{idx}, nil
+	}
+	eng, err := live.New(ds, compile, live.Options{
+		CompactThreshold: cfg.CompactThreshold,
+		CompactInterval:  cfg.CompactInterval,
+		ReconfigCost:     reconfigCost(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{kind: cfg.Backend, eng: eng}, nil
+}
+
+// reconfigCost models what one compaction's base swap costs: the
+// board-backed backends pay one reconfiguration latency per partition of
+// the new compilation (the full symbol-replacement sweep of §III-C); the
+// single-device cost models (cpu, gpu, fpga, approx) rebuild host-side
+// structures the paper's model does not charge device time for.
+func reconfigCost(cfg Config) func(partitions int) time.Duration {
+	switch cfg.Backend {
+	case AP, Fast, Sharded:
+	default:
+		return nil
+	}
+	device := ap.Gen2()
+	if cfg.Generation == Gen1 {
+		device = ap.Gen1()
+	}
+	return func(partitions int) time.Duration {
+		return time.Duration(partitions) * device.ReconfigLatency
+	}
+}
+
+// liveSearcher adapts a compiled backend Index to the live engine's
+// Searcher contract.
+type liveSearcher struct {
+	idx Index
+}
+
+func (s liveSearcher) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][]Neighbor, error) {
+	return s.idx.Search(ctx, queries, k)
+}
+
+func (s liveSearcher) ModeledTime() time.Duration { return s.idx.ModeledTime() }
+
+func (s liveSearcher) Partitions() int { return s.idx.Stats().Partitions }
+
+// Insert appends v to the live index and returns its global ID. IDs
+// continue past the seed dataset and are never reused. The vector is
+// searchable the moment Insert returns; the compiled base catches up at
+// the next compaction.
+func (l *LiveIndex) Insert(ctx context.Context, v Vector) (int, error) {
+	return l.eng.Insert(ctx, v)
+}
+
+// Delete removes the vector with the given global ID from search results
+// immediately (tombstone); storage and automata states are reclaimed by the
+// next compaction. Deleting an unknown or already-deleted ID returns an
+// error wrapping ErrNotFound.
+func (l *LiveIndex) Delete(ctx context.Context, id int) error {
+	return l.eng.Delete(ctx, id)
+}
+
+// Compact synchronously folds pending churn into a fresh base compilation,
+// like the background compactor but on the caller's schedule.
+func (l *LiveIndex) Compact(ctx context.Context) error { return l.eng.Compact(ctx) }
+
+// Close stops the background compactor. The index stays searchable and
+// mutable; only automatic compaction stops.
+func (l *LiveIndex) Close() error { return l.eng.Close() }
+
+// Len returns the number of live (inserted or seed, not deleted) vectors.
+func (l *LiveIndex) Len() int { return l.eng.Len() }
+
+// Search implements Index over the current live vector set.
+func (l *LiveIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
+	res, err := l.eng.Search(ctx, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	l.ctrs.countSearch(len(queries))
+	return res, nil
+}
+
+// SearchBatch implements Index; batches run sequentially through Search,
+// each against the newest snapshot at its turn.
+func (l *LiveIndex) SearchBatch(ctx context.Context, batches [][]Vector, k int) <-chan BatchResult {
+	return sequentialBatches(ctx, batches, k, l.Search)
+}
+
+// ModeledTime returns the live index's accumulated modeled wall-clock:
+// current and retired base generations, delta scans, and compaction
+// reconfiguration sweeps.
+func (l *LiveIndex) ModeledTime() time.Duration { return l.eng.ModeledTime() }
+
+// Stats snapshots the current base backend's counters plus the Live block.
+// Queries and Batches span the whole live index's lifetime; the other
+// backend counters (symbols, reconfigs, per-board times) belong to the
+// current base generation.
+func (l *LiveIndex) Stats() Stats {
+	var st Stats
+	if b, ok := l.eng.Base().(liveSearcher); ok {
+		st = b.idx.Stats()
+	}
+	st.Backend = l.kind
+	st.Queries = l.ctrs.queries.Load()
+	st.Batches = l.ctrs.batches.Load()
+	ls := l.eng.Stats()
+	st.Live = &LiveStats{
+		Inserts:       ls.Inserts,
+		Deletes:       ls.Deletes,
+		BaseSize:      ls.BaseSize,
+		DeltaSize:     ls.DeltaSize,
+		Tombstones:    ls.Tombstones,
+		Compactions:   ls.Compactions,
+		Generation:    ls.Generation,
+		MixedSearches: ls.MixedSearches,
+		ReconfigTime:  ls.ReconfigTime,
+		DeltaScanTime: ls.DeltaScanTime,
+	}
+	return st
+}
+
+// ReadDataset parses a dataset serialized with Dataset.WriteTo — the binary
+// format apknn and apserve persist datasets in (-save/-load).
+func ReadDataset(r io.Reader) (*Dataset, error) { return bitvec.ReadDataset(r) }
+
+// LoadDataset reads a dataset file saved with SaveDataset or -save.
+func LoadDataset(path string) (*Dataset, error) { return bitvec.LoadFile(path) }
+
+// SaveDataset writes ds to path in the binary dataset format.
+func SaveDataset(ds *Dataset, path string) error { return ds.SaveFile(path) }

@@ -116,6 +116,25 @@ func TestSmokeBinaries(t *testing.T) {
 			},
 		},
 		{
+			name: "apbench-churn",
+			pkg:  "./cmd/apbench",
+			args: []string{"-exp", "churn"},
+			want: []string{
+				"Live index churn: insert:query ratio x compaction threshold",
+				"modeled QPS = queries / modeled platform time",
+			},
+		},
+		{
+			name: "live",
+			pkg:  "./examples/live",
+			args: nil,
+			want: []string{
+				"at distance 0",
+				"still returned: false",
+				"generation 1",
+			},
+		},
+		{
 			name: "quickstart",
 			pkg:  "./examples/quickstart",
 			args: nil,
@@ -156,6 +175,148 @@ func TestSmokeBinaries(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSmokeDatasetSaveLoad round-trips a dataset through the binary format
+// via the apknn CLI: -save one run, -load the next, same search results.
+func TestSmokeDatasetSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "apknn")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/apknn").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/apknn: %v\n%s", err, out)
+	}
+	path := filepath.Join(dir, "ds.apds")
+	out1, err := exec.Command(bin, "-n", "128", "-dim", "16", "-q", "2", "-k", "2", "-fast", "-save", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("apknn -save: %v\n%s", err, out1)
+	}
+	out2, err := exec.Command(bin, "-q", "2", "-k", "2", "-fast", "-load", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("apknn -load: %v\n%s", err, out2)
+	}
+	for _, out := range [][]byte{out1, out2} {
+		if !strings.Contains(string(out), "dataset: 128 vectors x 16 bits") {
+			t.Fatalf("unexpected dataset line:\n%s", out)
+		}
+		if !strings.Contains(string(out), "agreement with exact CPU scan: 2/2") {
+			t.Fatalf("search disagreement:\n%s", out)
+		}
+	}
+}
+
+// TestSmokeApserveLive boots apserve -live and drives the mutation
+// lifecycle over real HTTP: insert a vector, find it at distance zero,
+// delete it, and confirm it stops appearing.
+func TestSmokeApserveLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "apserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/apserve").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/apserve: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-n", "1024", "-dim", "16",
+		"-live", "-compact-threshold", "4", "-compact-interval", "0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+	var addr string
+	logs := &bytes.Buffer{}
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		logs.WriteString(line + "\n")
+		if i := strings.Index(line, "serving on "); i >= 0 {
+			addr = strings.Fields(line[i+len("serving on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("apserve never logged its address:\n%s", logs.String())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	base := "http://" + addr
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	post := func(path, body string) (int, map[string]interface{}) {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "POST", base+path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var decoded map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			t.Fatalf("POST %s: bad JSON: %v", path, err)
+		}
+		return resp.StatusCode, decoded
+	}
+
+	vector := strings.Repeat("10", 8)
+	code, ins := post("/v1/insert", fmt.Sprintf(`{"vector":%q}`, vector))
+	if code != 200 {
+		t.Fatalf("insert: HTTP %d: %v", code, ins)
+	}
+	id := int(ins["id"].(float64))
+	if id != 1024 {
+		t.Fatalf("inserted id = %d, want 1024", id)
+	}
+	found := func() bool {
+		t.Helper()
+		code, res := post("/v1/search", fmt.Sprintf(`{"query":%q,"k":3}`, vector))
+		if code != 200 {
+			t.Fatalf("search: HTTP %d: %v", code, res)
+		}
+		for _, nb := range res["neighbors"].([]interface{}) {
+			m := nb.(map[string]interface{})
+			if int(m["id"].(float64)) == id {
+				if m["dist"].(float64) != 0 {
+					t.Fatalf("inserted vector at distance %v", m["dist"])
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if !found() {
+		t.Fatal("inserted vector not returned")
+	}
+	if code, del := post("/v1/delete", fmt.Sprintf(`{"id":%d}`, id)); code != 200 {
+		t.Fatalf("delete: HTTP %d: %v", code, del)
+	}
+	if found() {
+		t.Fatal("deleted vector still returned")
+	}
+	if code, del := post("/v1/delete", fmt.Sprintf(`{"id":%d}`, id)); code != 404 {
+		t.Fatalf("double delete: HTTP %d: %v", code, del)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("apserve -live exited dirty: %v\n%s", err, logs.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("apserve -live did not drain after SIGTERM\n%s", logs.String())
 	}
 }
 

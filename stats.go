@@ -36,6 +36,42 @@ type Stats struct {
 	// PerBoardTime is each board's modeled wall-clock, shard-ordered.
 	// ModeledTime is its maximum for the fleet backends.
 	PerBoardTime []time.Duration `json:"per_board_time_ns,omitempty"`
+	// Live is the mutable-index block, present only for indexes opened
+	// with OpenLive.
+	Live *LiveStats `json:"live,omitempty"`
+}
+
+// LiveStats is the mutable-index snapshot of an OpenLive index: how much
+// churn is pending in the delta segment and tombstone set, how often the
+// background compactor has folded it back into a compiled base, and what
+// the churn cost in modeled time. GET /v1/stats on a live apserve reports
+// it under "backend.live".
+type LiveStats struct {
+	// Inserts accepted since OpenLive.
+	Inserts int64 `json:"inserts"`
+	// Deletes accepted since OpenLive.
+	Deletes int64 `json:"deletes"`
+	// BaseSize is the vector count of the current compiled base.
+	BaseSize int `json:"base_size"`
+	// DeltaSize is the current delta-segment length (tombstoned entries
+	// included until the next compaction reclaims them).
+	DeltaSize int `json:"delta_size"`
+	// Tombstones is the current tombstone-set size.
+	Tombstones int `json:"tombstones"`
+	// Compactions is how many times the compactor swapped in a fresh base.
+	Compactions int64 `json:"compactions"`
+	// Generation numbers the current base compilation; 0 is the seed.
+	Generation int64 `json:"generation"`
+	// MixedSearches counts searches answered while churn was pending —
+	// served from the compiled base and the delta/tombstone overlay
+	// together rather than one clean generation.
+	MixedSearches int64 `json:"mixed_searches"`
+	// ReconfigTime is the modeled reconfiguration time compactions have
+	// charged (the paper's symbol-replacement sweep, once per compaction
+	// instead of once per mutation).
+	ReconfigTime time.Duration `json:"reconfig_time_ns"`
+	// DeltaScanTime is the modeled CPU time of the exact delta scans.
+	DeltaScanTime time.Duration `json:"delta_scan_time_ns"`
 }
 
 // ServingStats is the micro-batcher and admission-control snapshot of the
@@ -66,6 +102,10 @@ type ServingStats struct {
 	FlushesOnClose int64 `json:"flushes_on_close"`
 	// Rejected counts requests refused with 429 by admission control.
 	Rejected int64 `json:"rejected"`
+	// Inserts accepted via /v1/insert (live indexes only).
+	Inserts int64 `json:"inserts"`
+	// Deletes accepted via /v1/delete (live indexes only).
+	Deletes int64 `json:"deletes"`
 	// Expired counts requests whose context ended while they waited in
 	// the queue; they never reached the backend.
 	Expired int64 `json:"expired"`
