@@ -2,7 +2,7 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn, cluster)
 //	apbench -all              # everything
 //	apbench -exp churn -json bench.json   # also emit machine-readable results
 package main
@@ -23,6 +23,7 @@ import (
 	"repro/internal/ap"
 	"repro/internal/automata"
 	"repro/internal/bitvec"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
@@ -77,7 +78,7 @@ func record(r benchRecord) {
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn, cluster")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	jsonPath := flag.String("json", "", "also write machine-readable results (schema apbench/v1) to this path")
@@ -91,7 +92,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn", "cluster"} {
 			runExperiment(e)
 		}
 	case *table != 0:
@@ -227,6 +228,8 @@ func runExperiment(name string) {
 		serveExperiment()
 	case "churn":
 		churnExperiment()
+	case "cluster":
+		clusterExperiment()
 	default:
 		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
 		os.Exit(2)
@@ -646,6 +649,201 @@ func runChurnCell(n0, dim, k, nq, batch int, insPerSearch float64, threshold int
 		cell.recall += apknn.Recall(got[i], exact[i])
 	}
 	cell.recall /= float64(len(sample))
+	return cell, nil
+}
+
+// clusterExperiment sweeps the multi-node tier: the same dataset and
+// closed-loop HTTP load routed through aprouter's scatter-gather across
+// shards × replicas × hedging. Modeled cluster QPS is queries over the
+// slowest node's modeled platform time — the node-granularity version of
+// the paper's max-across-boards fleet bound — so adding shards shrinks
+// each node's partition and lifts throughput, while replication buys
+// fault-tolerance (and hedged tail-cutting) at no modeled-throughput cost
+// until hedges start duplicating work.
+func clusterExperiment() {
+	const (
+		n, dim, k     = 1 << 13, 64, 8
+		clients, reqs = 12, 25
+	)
+	ds := apknn.RandomDataset(1234, n, dim)
+	queries := apknn.RandomQueries(1235, clients*reqs, dim)
+
+	tb := report.NewTable(
+		fmt.Sprintf("Cluster scatter-gather: shards x replicas x hedging (n=%d, d=%d, k=%d, %d clients x %d reqs, fast nodes)",
+			n, dim, k, clients, reqs),
+		"shards", "replicas", "hedge", "cluster QPS (modeled)", "host QPS", "p50", "p99", "hedges")
+	for _, shards := range []int{1, 2, 4} {
+		for _, replicas := range []int{1, 2} {
+			for _, hedge := range []time.Duration{0, 5 * time.Millisecond} {
+				if hedge > 0 && replicas == 1 {
+					continue // nothing to hedge to
+				}
+				cell, err := runClusterCell(ds, queries, shards, replicas, hedge, clients, reqs, k)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "apbench:", err)
+					os.Exit(1)
+				}
+				tb.Row(shards, replicas, hedge,
+					fmt.Sprintf("%.0f", cell.modeledQPS),
+					fmt.Sprintf("%.0f", cell.hostQPS),
+					cell.p50.Round(time.Microsecond),
+					cell.p99.Round(time.Microsecond),
+					cell.hedges)
+				record(benchRecord{
+					Experiment: "cluster",
+					Params: map[string]interface{}{
+						"shards": shards, "replicas": replicas, "hedge_ns": int64(hedge),
+						"n": n, "dim": dim, "k": k, "clients": clients,
+					},
+					ModeledQPS: cell.modeledQPS,
+					HostQPS:    fptr(cell.hostQPS),
+					P50NS:      iptr(int64(cell.p50)),
+					P99NS:      iptr(int64(cell.p99)),
+				})
+			}
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("cluster QPS (modeled) = queries / max-across-nodes modeled time: partitioning the")
+	fmt.Println("dataset across shard nodes divides each node's stream+reconfig work, the same")
+	fmt.Println("data-parallel decomposition the paper applies across boards (§III-C), one level up.")
+}
+
+type clusterCell struct {
+	modeledQPS float64
+	hostQPS    float64
+	p50, p99   time.Duration
+	hedges     int64
+}
+
+// runClusterCell boots a full in-process cluster — shards × replicas
+// apserve nodes plus a router — on loopback listeners, drives the
+// closed-loop load through the router, and tears everything down so the
+// next cell starts cold.
+func runClusterCell(ds *apknn.Dataset, queries []apknn.Vector, shards, replicas int,
+	hedge time.Duration, clients, reqs, k int) (clusterCell, error) {
+	n := ds.Len()
+	chunk := (n + shards - 1) / shards
+	m := &cluster.Manifest{}
+	var indexes []apknn.Index
+	var nodeSrvs []*serve.Server
+	var nodeHTTP []*http.Server
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, hs := range nodeHTTP {
+			_ = hs.Shutdown(ctx)
+		}
+		for _, s := range nodeSrvs {
+			_ = s.Close(ctx)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		part := ds.Slice(lo, hi)
+		sh := cluster.Shard{Base: lo}
+		for rep := 0; rep < replicas; rep++ {
+			idx, err := apknn.Open(part, apknn.WithBackend(apknn.Fast))
+			if err != nil {
+				shutdown()
+				return clusterCell{}, err
+			}
+			srv := serve.New(idx, serve.Config{
+				Dim:         ds.Dim(),
+				NodeID:      fmt.Sprintf("shard%d-%c", s, 'a'+rep),
+				Vectors:     part.Len(),
+				MaxBatch:    64,
+				BatchWindow: time.Millisecond,
+				MaxInFlight: 4 * clients * reqs,
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				shutdown()
+				return clusterCell{}, err
+			}
+			hs := &http.Server{Handler: srv.Handler()}
+			go func() { _ = hs.Serve(ln) }()
+			indexes = append(indexes, idx)
+			nodeSrvs = append(nodeSrvs, srv)
+			nodeHTTP = append(nodeHTTP, hs)
+			sh.Replicas = append(sh.Replicas, "http://"+ln.Addr().String())
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+	router, err := cluster.New(m, cluster.Config{
+		HedgeDelay:    hedge,
+		ProbeInterval: -1, // healthy in-process fleet; skip probe noise
+		DefaultK:      k,
+		Dim:           ds.Dim(),
+	})
+	if err != nil {
+		shutdown()
+		return clusterCell{}, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		shutdown()
+		return clusterCell{}, err
+	}
+	rsrv := &http.Server{Handler: router.Handler()}
+	go func() { _ = rsrv.Serve(rln) }()
+
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	client := serve.Client{
+		BaseURL:    "http://" + rln.Addr().String(),
+		HTTPClient: &http.Client{Transport: transport},
+	}
+	latencies := make([]time.Duration, clients*reqs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < reqs; r++ {
+				i := c*reqs + r
+				t0 := time.Now()
+				if _, err := client.Search(context.Background(), queries[i], k); err != nil {
+					fmt.Fprintln(os.Stderr, "apbench: cluster client:", err)
+					os.Exit(1)
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	transport.CloseIdleConnections()
+
+	closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rsrv.Shutdown(closeCtx); err != nil {
+		shutdown()
+		return clusterCell{}, fmt.Errorf("router shutdown: %w", err)
+	}
+	router.Close()
+	shutdown()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	total := float64(len(latencies))
+	var slowest time.Duration
+	for _, idx := range indexes {
+		if mt := idx.ModeledTime(); mt > slowest {
+			slowest = mt
+		}
+	}
+	cell := clusterCell{
+		hostQPS: total / wall.Seconds(),
+		p50:     latencies[len(latencies)/2],
+		p99:     latencies[len(latencies)*99/100],
+		hedges:  router.Stats().Hedges,
+	}
+	if slowest > 0 {
+		cell.modeledQPS = total / slowest.Seconds()
+	}
 	return cell, nil
 }
 

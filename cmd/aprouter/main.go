@@ -1,0 +1,136 @@
+// Command aprouter is the stateless cluster tier over apserve: it
+// partitions the dataset across N serving nodes (static range assignment
+// recorded in a cluster manifest), scatter-gathers /v1/search and
+// /v1/search_batch to every shard concurrently, over-fetches k per shard,
+// and merges with the shared (Dist, ID) tie-break — results are
+// byte-identical to a single-node index over the union dataset. Replicated
+// shards get health-checked replica sets, hedged reads, and bounded 429
+// retry; live /v1/insert and /v1/delete traffic routes to the owning
+// shard's replicas best-effort with per-replica error reporting.
+//
+//	apserve -addr :9001 -seed 100 -n 65536 -dim 64 -live &
+//	apserve -addr :9002 -seed 100 -n 65536 -dim 64 -live &   # replica of :9001
+//	apserve -addr :9003 -seed 200 -n 65536 -dim 64 -live &   # second shard
+//	aprouter -addr :8080 -shards "localhost:9001,localhost:9002;localhost:9003" \
+//	    -hedge 5ms -write-manifest cluster.json
+//	curl -s -X POST localhost:8080/v1/search -d '{"query":"1011...","k":4}'
+//	curl -s localhost:8080/v1/stats
+//
+// Topology comes either from -shards (replicas comma-separated, shards
+// semicolon-separated; global-ID bases probed from each shard's /v1/stats
+// node block) or from -manifest, a JSON file with explicit bases as written
+// by -write-manifest. SIGINT/SIGTERM drains the listener and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shards := flag.String("shards", "", "topology: replicas comma-separated, shards semicolon-separated, e.g. \"h1:9001,h2:9001;h3:9001\"")
+	manifestPath := flag.String("manifest", "", "load the cluster manifest (explicit bases) from this JSON file instead of -shards")
+	writeManifest := flag.String("write-manifest", "", "record the resolved manifest to this JSON file at boot")
+	hedge := flag.Duration("hedge", 5*time.Millisecond, "hedged reads: fire a second replica after this delay (0 disables)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "replica health-check period")
+	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe time budget")
+	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
+	retries := flag.Int("retries", 3, "attempts per replica on saturated (429/503) answers, honoring Retry-After")
+	bootTimeout := flag.Duration("boot-timeout", 30*time.Second, "how long to wait for shards to answer the base-resolving probe")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	var m *cluster.Manifest
+	var err error
+	switch {
+	case *manifestPath != "" && *shards != "":
+		log.Fatal("aprouter: -manifest and -shards are mutually exclusive")
+	case *manifestPath != "":
+		if m, err = cluster.LoadManifest(*manifestPath); err != nil {
+			log.Fatal("aprouter: ", err)
+		}
+	case *shards != "":
+		if m, err = cluster.ParseTopology(*shards); err != nil {
+			log.Fatal("aprouter: ", err)
+		}
+		// The nodes may still be booting; retry the probe until the budget
+		// runs out so "start everything at once" just works.
+		bootCtx, cancel := context.WithTimeout(context.Background(), *bootTimeout)
+		for {
+			err = m.ResolveBases(bootCtx, nil)
+			if err == nil || bootCtx.Err() != nil {
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		cancel()
+		if err != nil {
+			log.Fatal("aprouter: resolving shard bases: ", err)
+		}
+	default:
+		log.Fatal("aprouter: one of -shards or -manifest is required")
+	}
+	if *writeManifest != "" {
+		if err := m.Save(*writeManifest); err != nil {
+			log.Fatal("aprouter: ", err)
+		}
+		log.Printf("aprouter: wrote manifest to %s", *writeManifest)
+	}
+
+	router, err := cluster.New(m, cluster.Config{
+		HedgeDelay:    *hedge,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		DefaultK:      *defaultK,
+		Dim:           m.Dim,
+		Retry:         serve.RetryPolicy{MaxAttempts: *retries},
+	})
+	if err != nil {
+		log.Fatal("aprouter: ", err)
+	}
+	for i, sh := range m.Shards {
+		log.Printf("aprouter: shard %d: base %d, %d replica(s): %v", i, sh.Base, len(sh.Replicas), sh.Replicas)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("aprouter: ", err)
+	}
+	httpSrv := &http.Server{Handler: router.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("aprouter: routing %d shard(s) x replicas on %s (hedge %v, probe every %v)",
+		len(m.Shards), ln.Addr(), *hedge, *probeInterval)
+
+	select {
+	case err := <-errCh:
+		log.Fatal("aprouter: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("aprouter: draining (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "aprouter: shutdown:", err)
+	}
+	router.Close()
+	st := router.Stats()
+	log.Printf("aprouter: routed %d searches (%d shard calls, %d hedges/%d wins, %d failovers, %d retries); bye",
+		st.Searches, st.ShardCalls, st.Hedges, st.HedgeWins, st.Failovers, st.Retries)
+}

@@ -57,6 +57,7 @@ func main() {
 		"micro-batch flush deadline; 0 disables coalescing")
 	maxInFlight := flag.Int("max-inflight", 256, "admission control: concurrent requests before 429")
 	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
+	nodeID := flag.String("node-id", "", "cluster identity reported in the /v1/stats node block (default: the listen address)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -114,17 +115,24 @@ func main() {
 	log.Printf("apserve: backend %q ready: %d board(s), %d partition(s), %s",
 		st.Backend, st.Boards, st.Partitions, mode)
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("apserve: ", err)
+	}
+	id := *nodeID
+	if id == "" {
+		id = ln.Addr().String()
+	}
 	srv := serve.New(idx, serve.Config{
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
 		MaxInFlight: *maxInFlight,
 		DefaultK:    *defaultK,
 		Dim:         ds.Dim(),
+		NodeID:      id,
+		Addr:        ln.Addr().String(),
+		Vectors:     ds.Len(),
 	})
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal("apserve: ", err)
-	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

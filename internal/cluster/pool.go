@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// replica is one apserve endpoint of a shard's replica set, with the
+// router's current health verdict. Replicas start healthy; the prober and
+// transport-level request failures eject them, a succeeding probe readmits
+// them.
+type replica struct {
+	shard   int
+	addr    string
+	client  *serve.Client
+	healthy atomic.Bool
+}
+
+// shardSet is a shard's replica set with rotating primary selection, the
+// per-shard face of the client pool.
+type shardSet struct {
+	shard    int
+	base     int
+	replicas []*replica
+	rr       atomic.Uint64
+	// insertMu serializes insert broadcasts to this shard: replicas assign
+	// local IDs in arrival order, so two inserts racing through one router
+	// could land in opposite orders on different replicas and permanently
+	// swap their ID assignments even though every replica acked. Holding
+	// the broadcast under a lock makes all replicas see one router's
+	// inserts in one order. (Deletes are by-ID tombstones, order-free.)
+	insertMu sync.Mutex
+}
+
+// candidates returns the replicas in attempt order for one request: healthy
+// replicas first, rotated by a round-robin counter so load spreads, then
+// ejected replicas as a last resort — a shard whose every replica has been
+// ejected still gets tried rather than failing without a single request.
+func (s *shardSet) candidates() []*replica {
+	n := len(s.replicas)
+	start := int(s.rr.Add(1)-1) % n
+	out := make([]*replica, 0, n)
+	var down []*replica
+	for i := 0; i < n; i++ {
+		rep := s.replicas[(start+i)%n]
+		if rep.healthy.Load() {
+			out = append(out, rep)
+		} else {
+			down = append(down, rep)
+		}
+	}
+	return append(out, down...)
+}
+
+// healthyCount is the number of currently admitted replicas.
+func (s *shardSet) healthyCount() int {
+	n := 0
+	for _, rep := range s.replicas {
+		if rep.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// newPool builds the per-shard replica sets from a validated manifest. All
+// clients share one http.Client so the connection pool is cluster-wide.
+func newPool(m *Manifest, hc *http.Client) []*shardSet {
+	sets := make([]*shardSet, len(m.Shards))
+	for i, sh := range m.Shards {
+		set := &shardSet{shard: i, base: sh.Base}
+		for _, addr := range sh.Replicas {
+			rep := &replica{
+				shard:  i,
+				addr:   addr,
+				client: &serve.Client{BaseURL: addr, HTTPClient: hc},
+			}
+			rep.healthy.Store(true)
+			set.replicas = append(set.replicas, rep)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// Probe runs one health pass over every replica: /healthz within the
+// configured timeout, ejecting failures and readmitting recoveries. The
+// background prober calls it on every tick; it is exported so operators
+// (and tests) can force a pass instead of waiting one interval out. The
+// eject/readmit counters record only transitions, so a steady-state
+// cluster probes silently.
+func (r *Router) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, set := range r.sets {
+		for _, rep := range set.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+				defer cancel()
+				_, err := rep.client.Health(pctx)
+				if err != nil {
+					if rep.healthy.Swap(false) {
+						r.ctrs.ejected.Add(1)
+					}
+					return
+				}
+				if !rep.healthy.Swap(true) {
+					r.ctrs.readmitted.Add(1)
+				}
+			}(rep)
+		}
+	}
+	wg.Wait()
+}
+
+// prober is the background health loop, stopped by Close.
+func (r *Router) prober(ctx context.Context) {
+	defer close(r.probeDone)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.Probe(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,711 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apknn "repro"
+	"repro/internal/knn"
+	"repro/internal/serve"
+)
+
+// Config tunes a Router. The zero value routes with the defaults below.
+type Config struct {
+	// HedgeDelay arms hedged reads: if a shard's primary replica has not
+	// answered within this delay, the same request is fired at a second
+	// replica and the first answer wins (the loser is canceled). Zero
+	// disables hedging. Set it near the fleet's p99 so only straggling
+	// requests pay the duplicate work.
+	HedgeDelay time.Duration
+	// ProbeInterval is the background health-check period per replica
+	// (default 1s; negative disables the prober — useful in tests that
+	// drive probes explicitly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 500ms).
+	ProbeTimeout time.Duration
+	// DefaultK answers requests that omit k (default 10).
+	DefaultK int
+	// Dim, when set, refuses wrong-length queries with 400 at the router
+	// instead of scattering them to every shard.
+	Dim int
+	// Retry is the per-replica backoff policy for saturated (429/503)
+	// answers; see serve.RetryPolicy for the defaults.
+	Retry serve.RetryPolicy
+	// HTTPClient overrides the pooled client all replica connections share.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	return c
+}
+
+// statsTimeout bounds each per-node /v1/stats fetch during aggregation.
+const statsTimeout = 2 * time.Second
+
+// clusterCounters is the atomically updated backing store for ClusterStats.
+type clusterCounters struct {
+	searches      atomic.Int64
+	batchSearches atomic.Int64
+	inserts       atomic.Int64
+	deletes       atomic.Int64
+	shardCalls    atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	failovers     atomic.Int64
+	retries       atomic.Int64
+	ejected       atomic.Int64
+	readmitted    atomic.Int64
+}
+
+// Router is the stateless scatter-gather tier: it owns no data, only the
+// manifest, the replica pool, and the merge. Create it with New, mount
+// Handler on an http.Server, Close it on shutdown.
+type Router struct {
+	manifest  *Manifest
+	sets      []*shardSet
+	cfg       Config
+	ctrs      clusterCounters
+	mux       *http.ServeMux
+	hc        *http.Client
+	ownHC     bool
+	probeStop context.CancelFunc
+	probeDone chan struct{}
+	closed    atomic.Bool
+}
+
+// New builds a Router over a validated manifest and starts the background
+// health prober (unless ProbeInterval is negative).
+func New(m *Manifest, cfg Config) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{manifest: m, cfg: cfg, hc: cfg.HTTPClient, probeDone: make(chan struct{})}
+	if r.hc == nil {
+		r.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+		r.ownHC = true
+	}
+	r.sets = newPool(m, r.hc)
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/v1/search", r.handleSearch)
+	r.mux.HandleFunc("/v1/search_batch", r.handleSearchBatch)
+	r.mux.HandleFunc("/v1/insert", r.handleInsert)
+	r.mux.HandleFunc("/v1/delete", r.handleDelete)
+	r.mux.HandleFunc("/v1/stats", r.handleStats)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	probeCtx, cancel := context.WithCancel(context.Background())
+	r.probeStop = cancel
+	if cfg.ProbeInterval > 0 {
+		go r.prober(probeCtx)
+	} else {
+		close(r.probeDone)
+	}
+	return r, nil
+}
+
+// Handler returns the router's API handler, mountable on any http.Server.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Manifest returns the topology the router was formed with.
+func (r *Router) Manifest() *Manifest { return r.manifest }
+
+// Close stops the health prober and tears down the router's own connection
+// pool. It does not touch the shards.
+func (r *Router) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	r.probeStop()
+	<-r.probeDone
+	if r.ownHC {
+		if t, ok := r.hc.Transport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+	}
+}
+
+// Stats snapshots the router-local counters; per-node attribution is only
+// gathered on the /v1/stats endpoint, which fetches every replica.
+func (r *Router) Stats() apknn.ClusterStats {
+	healthy := 0
+	for _, set := range r.sets {
+		healthy += set.healthyCount()
+	}
+	return apknn.ClusterStats{
+		Shards:        len(r.sets),
+		Replicas:      r.manifest.NumReplicas(),
+		Healthy:       healthy,
+		Searches:      r.ctrs.searches.Load(),
+		BatchSearches: r.ctrs.batchSearches.Load(),
+		Inserts:       r.ctrs.inserts.Load(),
+		Deletes:       r.ctrs.deletes.Load(),
+		ShardCalls:    r.ctrs.shardCalls.Load(),
+		Hedges:        r.ctrs.hedges.Load(),
+		HedgeWins:     r.ctrs.hedgeWins.Load(),
+		Failovers:     r.ctrs.failovers.Load(),
+		Retries:       r.ctrs.retries.Load(),
+		Ejected:       r.ctrs.ejected.Load(),
+		Readmitted:    r.ctrs.readmitted.Load(),
+	}
+}
+
+func (r *Router) retryPolicy() serve.RetryPolicy {
+	p := r.cfg.Retry
+	userHook := p.OnRetry
+	p.OnRetry = func(attempt int, err error, wait time.Duration) {
+		r.ctrs.retries.Add(1)
+		if userHook != nil {
+			userHook(attempt, err, wait)
+		}
+	}
+	return p
+}
+
+// replicaRetriable reports whether err is worth re-sending to a different
+// replica: transport-level failures (the node is unreachable) and 5xx/429
+// answers. Caller mistakes (4xx) fail the same way everywhere, and our own
+// context expiry is nobody's fault.
+func replicaRetriable(err error) bool {
+	var apiErr *serve.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// transportFailure reports whether err means the replica never answered at
+// all — the only failure that ejects it from the healthy set; a replica
+// that answered, even with an error, is alive.
+func transportFailure(err error) bool {
+	var apiErr *serve.APIError
+	return !errors.As(err, &apiErr) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// attemptResult is one replica's answer to one shard leg.
+type attemptResult struct {
+	out    interface{}
+	err    error
+	rep    *replica
+	hedged bool
+}
+
+// shardCall runs one shard's leg of a scatter with failover and hedging:
+// the first candidate replica is fired immediately; if the hedge delay
+// expires with no answer (and hedging is enabled), the next candidate gets
+// a duplicate request and the first success wins, the loser's context
+// canceled. A failed attempt fails over to the next untried replica; each
+// replica is tried at most once per leg. Unreachable replicas are ejected
+// from the healthy set as a side effect.
+func (r *Router) shardCall(ctx context.Context, set *shardSet,
+	call func(context.Context, *serve.Client) (interface{}, error)) (interface{}, error) {
+	candidates := set.candidates()
+	results := make(chan attemptResult, len(candidates))
+	actx, cancelAttempts := context.WithCancel(ctx)
+	defer cancelAttempts()
+	next, inflight := 0, 0
+	launch := func(hedged bool) {
+		rep := candidates[next]
+		next++
+		inflight++
+		r.ctrs.shardCalls.Add(1)
+		go func() {
+			out, err := call(actx, rep.client)
+			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged}
+		}()
+	}
+	launch(false)
+	var hedgeC <-chan time.Time
+	if r.cfg.HedgeDelay > 0 && next < len(candidates) {
+		timer := time.NewTimer(r.cfg.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(candidates) {
+				r.ctrs.hedges.Add(1)
+				launch(true)
+			}
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				if res.hedged {
+					r.ctrs.hedgeWins.Add(1)
+				}
+				return res.out, nil
+			}
+			if transportFailure(res.err) {
+				if res.rep.healthy.Swap(false) {
+					r.ctrs.ejected.Add(1)
+				}
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if !replicaRetriable(res.err) {
+				return nil, res.err
+			}
+			if next < len(candidates) {
+				r.ctrs.failovers.Add(1)
+				launch(false)
+			} else if inflight == 0 {
+				return nil, fmt.Errorf("cluster: shard %d: every replica failed: %w", set.shard, firstErr)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// scatter runs one leg per shard concurrently and returns the per-shard
+// results in shard order, failing if any shard fails — exactness requires
+// every partition's answer, so a shard with no reachable replica fails the
+// query rather than silently narrowing it.
+func (r *Router) scatter(ctx context.Context,
+	call func(context.Context, *serve.Client) (interface{}, error)) ([]interface{}, error) {
+	outs := make([]interface{}, len(r.sets))
+	errs := make([]error, len(r.sets))
+	var wg sync.WaitGroup
+	for i, set := range r.sets {
+		wg.Add(1)
+		go func(i int, set *shardSet) {
+			defer wg.Done()
+			outs[i], errs[i] = r.shardCall(ctx, set, call)
+		}(i, set)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body serve.SearchRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	q, err := apknn.ParseVector(body.Query)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad query vector: "+err.Error())
+		return
+	}
+	if r.cfg.Dim > 0 && q.Dim() != r.cfg.Dim {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf(
+			"query has %d bits, cluster serves %d: %v", q.Dim(), r.cfg.Dim, apknn.ErrDimMismatch))
+		return
+	}
+	k := body.K
+	if k == 0 {
+		k = r.cfg.DefaultK
+	}
+	if k < 0 {
+		serve.WriteError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
+		return
+	}
+	ctx := req.Context()
+	if body.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	r.ctrs.searches.Add(1)
+	// Over-fetch k from every shard: each shard's exact local top-k is a
+	// superset of its contribution to the global top-k, so the merge below
+	// is byte-identical to a single index over the union.
+	shardReq := serve.SearchRequest{Query: body.Query, K: k}
+	outs, err := r.scatter(ctx, func(ctx context.Context, c *serve.Client) (interface{}, error) {
+		var out serve.SearchResponse
+		if err := c.DoRetry(ctx, http.MethodPost, "/v1/search", shardReq, &out, r.retryPolicy()); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	})
+	if err != nil {
+		serve.WriteError(w, clusterStatus(err), err.Error())
+		return
+	}
+	var merged []apknn.Neighbor
+	maxFlush := 0
+	for i, out := range outs {
+		resp := out.(*serve.SearchResponse)
+		if resp.FlushSize > maxFlush {
+			maxFlush = resp.FlushSize
+		}
+		merged = knn.MergeTopK(merged, r.toGlobal(i, resp.Neighbors), k)
+	}
+	serve.WriteJSON(w, http.StatusOK, serve.SearchResponse{
+		Neighbors: toWire(merged),
+		FlushSize: maxFlush,
+	})
+}
+
+func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body serve.SearchBatchRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.Queries) == 0 {
+		serve.WriteError(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	for i, qs := range body.Queries {
+		q, err := apknn.ParseVector(qs)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad query vector %d: %v", i, err))
+			return
+		}
+		if r.cfg.Dim > 0 && q.Dim() != r.cfg.Dim {
+			serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf(
+				"query %d has %d bits, cluster serves %d: %v", i, q.Dim(), r.cfg.Dim, apknn.ErrDimMismatch))
+			return
+		}
+	}
+	k := body.K
+	if k == 0 {
+		k = r.cfg.DefaultK
+	}
+	if k < 0 {
+		serve.WriteError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
+		return
+	}
+	r.ctrs.batchSearches.Add(1)
+	shardReq := serve.SearchBatchRequest{Queries: body.Queries, K: k}
+	outs, err := r.scatter(req.Context(), func(ctx context.Context, c *serve.Client) (interface{}, error) {
+		var out serve.SearchBatchResponse
+		if err := c.DoRetry(ctx, http.MethodPost, "/v1/search_batch", shardReq, &out, r.retryPolicy()); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	})
+	if err != nil {
+		serve.WriteError(w, clusterStatus(err), err.Error())
+		return
+	}
+	merged := make([][]apknn.Neighbor, len(body.Queries))
+	for i, out := range outs {
+		resp := out.(*serve.SearchBatchResponse)
+		if len(resp.Neighbors) != len(body.Queries) {
+			serve.WriteError(w, http.StatusBadGateway, fmt.Sprintf(
+				"cluster: shard %d answered %d result sets for %d queries", i, len(resp.Neighbors), len(body.Queries)))
+			return
+		}
+		for qi, ns := range resp.Neighbors {
+			merged[qi] = knn.MergeTopK(merged[qi], r.toGlobal(i, ns), k)
+		}
+	}
+	out := serve.SearchBatchResponse{Neighbors: make([][]serve.Neighbor, len(merged))}
+	for qi, ns := range merged {
+		out.Neighbors[qi] = toWire(ns)
+	}
+	serve.WriteJSON(w, http.StatusOK, out)
+}
+
+// toGlobal converts one shard's wire neighbors to engine form with global
+// IDs (local + shard base).
+func (r *Router) toGlobal(shard int, ws []serve.Neighbor) []apknn.Neighbor {
+	base := r.sets[shard].base
+	out := make([]apknn.Neighbor, len(ws))
+	for i, w := range ws {
+		out[i] = apknn.Neighbor{ID: w.ID + base, Dist: w.Dist}
+	}
+	return out
+}
+
+func toWire(ns []apknn.Neighbor) []serve.Neighbor {
+	out := make([]serve.Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = serve.Neighbor{ID: n.ID, Dist: n.Dist}
+	}
+	return out
+}
+
+// ReplicaError reports one replica's failure inside a best-effort mutation.
+type ReplicaError struct {
+	Addr  string `json:"addr"`
+	Error string `json:"error"`
+}
+
+// InsertResponse answers POST /v1/insert through the router: the global ID
+// assigned by the tail shard plus the quorum-less per-replica outcome.
+type InsertResponse struct {
+	// ID is the global ID (tail shard base + the node-local ID).
+	ID int `json:"id"`
+	// Shard is the owning shard the insert was routed to (always the tail).
+	Shard int `json:"shard"`
+	// Replicas and Acked count the shard's replica set and how many
+	// accepted the write.
+	Replicas int `json:"replicas"`
+	Acked    int `json:"acked"`
+	// ReplicaErrors lists the replicas that did not ack; those nodes have
+	// diverged until repaired out of band.
+	ReplicaErrors []ReplicaError `json:"replica_errors,omitempty"`
+}
+
+// DeleteResponse answers POST /v1/delete through the router.
+type DeleteResponse struct {
+	ID            int            `json:"id"`
+	Deleted       bool           `json:"deleted"`
+	Shard         int            `json:"shard"`
+	Replicas      int            `json:"replicas"`
+	Acked         int            `json:"acked"`
+	ReplicaErrors []ReplicaError `json:"replica_errors,omitempty"`
+}
+
+// StatsResponse answers GET /v1/stats on the router.
+type StatsResponse struct {
+	Cluster apknn.ClusterStats `json:"cluster"`
+}
+
+// broadcastOutcome is one replica's answer to a best-effort write.
+type broadcastOutcome struct {
+	rep *replica
+	id  int
+	err error
+}
+
+// broadcast sends one mutation to every replica of a shard concurrently —
+// quorum-less best-effort: the caller decides what any mix of acks and
+// errors means. Unreachable replicas are ejected.
+func (r *Router) broadcast(ctx context.Context, set *shardSet,
+	do func(context.Context, *serve.Client) (int, error)) []broadcastOutcome {
+	outs := make([]broadcastOutcome, len(set.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range set.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			id, err := do(ctx, rep.client)
+			if err != nil && transportFailure(err) {
+				if rep.healthy.Swap(false) {
+					r.ctrs.ejected.Add(1)
+				}
+			}
+			outs[i] = broadcastOutcome{rep: rep, id: id, err: err}
+		}(i, rep)
+	}
+	wg.Wait()
+	return outs
+}
+
+// handleInsert routes a live insert to the tail shard — the one owning the
+// open end of the global ID range — and writes it to every replica.
+func (r *Router) handleInsert(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body serve.InsertRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	v, err := apknn.ParseVector(body.Vector)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad vector: "+err.Error())
+		return
+	}
+	if r.cfg.Dim > 0 && v.Dim() != r.cfg.Dim {
+		serve.WriteError(w, http.StatusBadRequest, fmt.Sprintf(
+			"vector has %d bits, cluster serves %d: %v", v.Dim(), r.cfg.Dim, apknn.ErrDimMismatch))
+		return
+	}
+	set := r.sets[len(r.sets)-1]
+	// One insert broadcast at a time per shard, so every replica assigns
+	// the same local ID to the same vector (see shardSet.insertMu). Writes
+	// through other routers can still interleave — the single-writer
+	// deployment is the supported one.
+	set.insertMu.Lock()
+	outs := r.broadcast(req.Context(), set, func(ctx context.Context, c *serve.Client) (int, error) {
+		return c.Insert(ctx, v)
+	})
+	set.insertMu.Unlock()
+	resp := InsertResponse{ID: -1, Shard: set.shard, Replicas: len(set.replicas)}
+	var firstErr error
+	for _, out := range outs {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			resp.ReplicaErrors = append(resp.ReplicaErrors, ReplicaError{Addr: out.rep.addr, Error: out.err.Error()})
+			continue
+		}
+		resp.Acked++
+		if resp.ID < 0 {
+			resp.ID = set.base + out.id
+		}
+	}
+	if resp.Acked == 0 {
+		serve.WriteError(w, clusterStatus(firstErr), firstErr.Error())
+		return
+	}
+	r.ctrs.inserts.Add(1)
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleDelete routes a live delete to the shard owning the global ID and
+// tombstones it on every replica.
+func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body serve.DeleteRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	owner := r.manifest.Owner(body.ID)
+	if owner < 0 {
+		serve.WriteError(w, http.StatusNotFound, fmt.Sprintf("cluster: no shard owns ID %d: %v", body.ID, apknn.ErrNotFound))
+		return
+	}
+	set := r.sets[owner]
+	local := body.ID - set.base
+	outs := r.broadcast(req.Context(), set, func(ctx context.Context, c *serve.Client) (int, error) {
+		return 0, c.Delete(ctx, local)
+	})
+	resp := DeleteResponse{ID: body.ID, Shard: owner, Replicas: len(set.replicas)}
+	var firstErr error
+	for _, out := range outs {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			resp.ReplicaErrors = append(resp.ReplicaErrors, ReplicaError{Addr: out.rep.addr, Error: out.err.Error()})
+			continue
+		}
+		resp.Acked++
+	}
+	if resp.Acked == 0 {
+		serve.WriteError(w, clusterStatus(firstErr), firstErr.Error())
+		return
+	}
+	resp.Deleted = true
+	r.ctrs.deletes.Add(1)
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleStats aggregates ClusterStats: the router's own counters plus a
+// per-node block fetched live from every replica's /v1/stats.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := r.Stats()
+	st.PerNode = r.perNode(req.Context())
+	serve.WriteJSON(w, http.StatusOK, StatsResponse{Cluster: st})
+}
+
+// perNode fetches every replica's stats concurrently; a node that cannot be
+// reached gets an Error line instead of failing the aggregation.
+func (r *Router) perNode(ctx context.Context) []apknn.NodeStats {
+	var out []apknn.NodeStats
+	var reps []*replica
+	for _, set := range r.sets {
+		for _, rep := range set.replicas {
+			out = append(out, apknn.NodeStats{
+				Shard:   set.shard,
+				Base:    set.base,
+				Addr:    rep.addr,
+				Healthy: rep.healthy.Load(),
+			})
+			reps = append(reps, rep)
+		}
+	}
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(rep *replica, line *apknn.NodeStats) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, statsTimeout)
+			defer cancel()
+			st, err := rep.client.Stats(sctx)
+			if err != nil {
+				line.Error = err.Error()
+				return
+			}
+			line.Queries = st.Backend.Queries
+			line.Batches = st.Backend.Batches
+			line.ModeledTimeNS = st.ModeledTimeNS
+			if st.Node != nil {
+				line.NodeID = st.Node.ID
+				line.Vectors = st.Node.Vectors
+				line.UptimeNS = st.Node.UptimeNS
+			}
+		}(rep, &out[i])
+	}
+	wg.Wait()
+	return out
+}
+
+// handleHealthz answers 200 while every shard has at least one healthy
+// replica, 503 "degraded" otherwise — a load balancer in front of several
+// routers can use it directly.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	status, code := "ok", http.StatusOK
+	for _, set := range r.sets {
+		if set.healthyCount() == 0 {
+			status, code = fmt.Sprintf("degraded: shard %d has no healthy replica", set.shard), http.StatusServiceUnavailable
+			break
+		}
+	}
+	serve.WriteJSON(w, code, serve.HealthResponse{
+		Status:  status,
+		Backend: "cluster",
+		Boards:  len(r.sets),
+	})
+}
+
+// clusterStatus maps a shard-leg error onto the router's response status:
+// an upstream API answer passes through, expiry is 504, and anything
+// transport-level is 502.
+func clusterStatus(err error) int {
+	var apiErr *serve.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadGateway
+}

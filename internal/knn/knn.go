@@ -62,7 +62,14 @@ func Linear(ds *bitvec.Dataset, q bitvec.Vector, k int) []Neighbor {
 	if k <= 0 {
 		panic(fmt.Sprintf("knn: k must be positive, got %d", k))
 	}
-	h := make(maxHeap, 0, k+1)
+	// The heap never holds more than min(k, n) neighbors; capping the
+	// capacity keeps a hostile wire-supplied k (e.g. math.MaxInt from a
+	// fuzzed /v1/search body) from allocating k+1 slots up front.
+	hcap := k
+	if n := ds.Len(); hcap > n {
+		hcap = n
+	}
+	h := make(maxHeap, 0, hcap+1)
 	qw := q.Words()
 	for i := 0; i < ds.Len(); i++ {
 		d := hamming(ds.WordsAt(i), qw)

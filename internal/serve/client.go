@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	apknn "repro"
@@ -125,6 +126,108 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	return &out, nil
 }
 
+// Do issues one request against the server and decodes the JSON answer
+// into out. It is the raw building block under the typed methods, exported
+// for callers — the cluster router — that speak the wire types directly.
+// Non-2xx answers return an *APIError with any Retry-After suggestion
+// parsed (both the delay-seconds and HTTP-date forms RFC 9110 allows).
+func (c *Client) Do(ctx context.Context, method, path string, body, out interface{}) error {
+	return c.do(ctx, method, path, body, out)
+}
+
+// RetryPolicy bounds DoRetry's retry loop on saturation answers.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff used when the server suggests no
+	// Retry-After; it doubles per retry (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay clamps both the backoff and the server's Retry-After
+	// suggestion (default 1s).
+	MaxDelay time.Duration
+	// OnRetry, when non-nil, observes every scheduled retry before its wait
+	// — the cluster router counts these into ClusterStats.
+	OnRetry func(attempt int, err error, wait time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// retriable reports whether status is worth re-asking the same server:
+// admission-control saturation (429) and shutdown-window refusals (503).
+// Everything else — caller mistakes, genuine server faults — returns to the
+// caller unchanged.
+func (p RetryPolicy) retriable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// DoRetry is Do with bounded retry/backoff on saturation: a 429 or 503
+// answer is retried after the server's Retry-After suggestion, falling back
+// to exponential backoff from BaseDelay, until MaxAttempts is exhausted or
+// ctx ends. The last error is returned verbatim, so errors.Is(err,
+// ErrSaturated) still matches a server that stayed saturated throughout.
+func (c *Client) DoRetry(ctx context.Context, method, path string, body, out interface{}, p RetryPolicy) error {
+	p = p.withDefaults()
+	backoff := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := c.Do(ctx, method, path, body, out)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || !p.retriable(apiErr.Status) || attempt >= p.MaxAttempts {
+			return err
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = backoff
+			backoff *= 2
+		}
+		if wait > p.MaxDelay {
+			wait = p.MaxDelay
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, wait)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("serve: retry wait: %w", ctx.Err())
+		}
+	}
+}
+
+// parseRetryAfter interprets a Retry-After header value in either form RFC
+// 9110 allows — delay-seconds or an HTTP-date — relative to now. Absent,
+// malformed, or already-elapsed values come back as zero.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
@@ -152,10 +255,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 		if json.NewDecoder(resp.Body).Decode(&eresp) == nil {
 			apiErr.Message = eresp.Error
 		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return apiErr
+	}
+	if out == nil {
+		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve: decode response: %w", err)

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	apknn "repro"
+)
+
+// fuzzServer is built once per fuzz worker process: a small exact index
+// behind the real handler chain, coalescing disabled so every request
+// flushes synchronously.
+var (
+	fuzzOnce    sync.Once
+	fuzzHandler http.Handler
+)
+
+const fuzzDim = 16
+
+func fuzzSetup() {
+	ds := apknn.RandomDataset(5, 256, fuzzDim)
+	idx, err := apknn.Open(ds, apknn.WithBackend(apknn.Fast))
+	if err != nil {
+		panic(err)
+	}
+	srv := New(idx, Config{Dim: fuzzDim, MaxInFlight: 64})
+	fuzzHandler = srv.Handler()
+}
+
+// FuzzSearchRequestJSON throws arbitrary bodies at POST /v1/search: the
+// wire boundary must answer every malformed vector, absurd k, or broken
+// JSON with a clean 4xx — never a panic, never a 5xx, never an unparseable
+// response — and every 200 must carry a well-formed, (Dist, ID)-sorted
+// result over real dataset IDs.
+func FuzzSearchRequestJSON(f *testing.F) {
+	f.Add([]byte(`{"query":"1010101010101010","k":3}`))
+	f.Add([]byte(`{"query":"1010101010101010"}`))
+	f.Add([]byte(`{"query":"1010101010101010","k":-1}`))
+	f.Add([]byte(`{"query":"1010101010101010","k":9223372036854775807}`))
+	f.Add([]byte(`{"query":"101","k":3}`))
+	f.Add([]byte(`{"query":"10x0101010101010","k":3}`))
+	f.Add([]byte(`{"query":"","k":3}`))
+	f.Add([]byte(`{"query":1010}`))
+	f.Add([]byte(`{"k":3}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"query":"1010101010101010","k":3,"timeout_ms":1}`))
+	f.Add([]byte(`{"query":"1010101010101010","timeout_ms":-5}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzOnce.Do(fuzzSetup)
+		req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		fuzzHandler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			var resp SearchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			if resp.FlushSize < 1 {
+				t.Fatalf("200 with flush size %d", resp.FlushSize)
+			}
+			for i, n := range resp.Neighbors {
+				if n.ID < 0 || n.ID >= 256 || n.Dist < 0 || n.Dist > fuzzDim {
+					t.Fatalf("neighbor %d out of range: %+v", i, n)
+				}
+				if i > 0 {
+					prev := resp.Neighbors[i-1]
+					if n.Dist < prev.Dist || (n.Dist == prev.Dist && n.ID <= prev.ID) {
+						t.Fatalf("neighbors not (Dist, ID)-sorted at %d: %+v after %+v", i, n, prev)
+					}
+				}
+			}
+		case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+			var eresp errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &eresp); err != nil || eresp.Error == "" {
+				t.Fatalf("status %d with undecodable error body %q", rec.Code, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("status %d (body %q) for input %q", rec.Code, rec.Body.Bytes(), body)
+		}
+	})
+}

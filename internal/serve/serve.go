@@ -46,6 +46,16 @@ type Config struct {
 	// call, failing the whole coalesced flush it rode in — every innocent
 	// rider of that batch would see the one bad client's error.
 	Dim int
+	// NodeID, when set, adds a node identity block to /v1/stats so a
+	// cluster router can attribute aggregated per-shard numbers to this
+	// process (see internal/cluster).
+	NodeID string
+	// Addr is the advertised listen address reported in the node block.
+	Addr string
+	// Vectors is the served dataset's size at boot, reported in the node
+	// block; an index that exposes Len() (a live index) reports its current
+	// size instead.
+	Vectors int
 }
 
 // DefaultBatchWindow is the flush deadline used when Config.BatchWindow is
@@ -91,6 +101,7 @@ type Server struct {
 	ctrs     counters
 	closed   atomic.Bool
 	mux      *http.ServeMux
+	started  time.Time
 }
 
 // New builds a Server around an already-opened Index. The Index must be
@@ -103,6 +114,7 @@ func New(idx apknn.Index, cfg Config) *Server {
 		idx:      idx,
 		cfg:      cfg,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
+		started:  time.Now(),
 	}
 	s.mut, _ = idx.(Mutable)
 	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, &s.ctrs)
@@ -143,7 +155,7 @@ func (s *Server) Close(ctx context.Context) error {
 // release func is non-nil iff admission succeeded.
 func (s *Server) admit(w http.ResponseWriter) func() {
 	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, errClosed.Error())
+		WriteError(w, http.StatusServiceUnavailable, errClosed.Error())
 		return nil
 	}
 	select {
@@ -155,7 +167,7 @@ func (s *Server) admit(w http.ResponseWriter) func() {
 		// once; round up so the header stays meaningful at ms windows.
 		retry := int(s.cfg.BatchWindow/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeError(w, http.StatusTooManyRequests,
+		WriteError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("serve: %d requests already in flight", s.cfg.MaxInFlight))
 		return nil
 	}
@@ -163,7 +175,7 @@ func (s *Server) admit(w http.ResponseWriter) func() {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	release := s.admit(w)
@@ -174,16 +186,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	var body SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	q, err := apknn.ParseVector(body.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad query vector: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad query vector: "+err.Error())
 		return
 	}
 	if s.cfg.Dim > 0 && q.Dim() != s.cfg.Dim {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf(
 			"query has %d bits, dataset has %d: %v", q.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
 		return
 	}
@@ -192,7 +204,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = s.cfg.DefaultK
 	}
 	if k < 0 {
-		writeError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
+		WriteError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
 		return
 	}
 
@@ -205,9 +217,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	req := &request{ctx: ctx, query: q, k: k, resp: make(chan response, 1)}
 	if err := s.batcher.submit(req); err != nil {
 		if errors.Is(err, errClosed) {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			WriteError(w, http.StatusServiceUnavailable, err.Error())
 		} else {
-			writeError(w, statusFor(err), err.Error())
+			WriteError(w, statusFor(err), err.Error())
 		}
 		return
 	}
@@ -218,21 +230,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	select {
 	case resp := <-req.resp:
 		if resp.err != nil {
-			writeError(w, statusFor(resp.err), resp.err.Error())
+			WriteError(w, statusFor(resp.err), resp.err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, SearchResponse{
+		WriteJSON(w, http.StatusOK, SearchResponse{
 			Neighbors: toWire(resp.neighbors),
 			FlushSize: resp.flushSize,
 		})
 	case <-ctx.Done():
-		writeError(w, http.StatusGatewayTimeout, ctx.Err().Error())
+		WriteError(w, http.StatusGatewayTimeout, ctx.Err().Error())
 	}
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	release := s.admit(w)
@@ -243,23 +255,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 
 	var body SearchBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if len(body.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "empty query batch")
+		WriteError(w, http.StatusBadRequest, "empty query batch")
 		return
 	}
 	queries := make([]apknn.Vector, len(body.Queries))
 	for i, qs := range body.Queries {
 		q, err := apknn.ParseVector(qs)
 		if err != nil {
-			writeError(w, http.StatusBadRequest,
+			WriteError(w, http.StatusBadRequest,
 				fmt.Sprintf("bad query vector %d: %v", i, err))
 			return
 		}
 		if s.cfg.Dim > 0 && q.Dim() != s.cfg.Dim {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf(
 				"query %d has %d bits, dataset has %d: %v", i, q.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
 			return
 		}
@@ -271,7 +283,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.idx.Search(r.Context(), queries, k)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	s.ctrs.batchRequests.Add(1)
@@ -279,7 +291,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i, ns := range results {
 		out.Neighbors[i] = toWire(ns)
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // handleInsert serves POST /v1/insert on a live index: the vector lands in
@@ -293,26 +305,26 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	var body InsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	v, err := apknn.ParseVector(body.Vector)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad vector: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad vector: "+err.Error())
 		return
 	}
 	if s.cfg.Dim > 0 && v.Dim() != s.cfg.Dim {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf(
 			"vector has %d bits, dataset has %d: %v", v.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
 		return
 	}
 	id, err := mut.Insert(r.Context(), v)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	s.ctrs.inserts.Add(1)
-	writeJSON(w, http.StatusOK, InsertResponse{ID: id})
+	WriteJSON(w, http.StatusOK, InsertResponse{ID: id})
 }
 
 // handleDelete serves POST /v1/delete on a live index: the ID is
@@ -326,15 +338,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	var body DeleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if err := mut.Delete(r.Context(), body.ID); err != nil {
-		writeError(w, statusFor(err), err.Error())
+		WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	s.ctrs.deletes.Add(1)
-	writeJSON(w, http.StatusOK, DeleteResponse{ID: body.ID, Deleted: true})
+	WriteJSON(w, http.StatusOK, DeleteResponse{ID: body.ID, Deleted: true})
 }
 
 // admitMutation is the shared front door of the mutation endpoints: POST
@@ -342,11 +354,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // control searches pass through.
 func (s *Server) admitMutation(w http.ResponseWriter, r *http.Request) (Mutable, func()) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return nil, nil
 	}
 	if s.mut == nil {
-		writeError(w, http.StatusNotImplemented,
+		WriteError(w, http.StatusNotImplemented,
 			"index is not live: start apserve with -live to enable mutations")
 		return nil, nil
 	}
@@ -359,19 +371,44 @@ func (s *Server) admitMutation(w http.ResponseWriter, r *http.Request) (Mutable,
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	WriteJSON(w, http.StatusOK, StatsResponse{
 		Backend:       s.idx.Stats(),
 		Serving:       s.ctrs.snapshot(),
 		ModeledTimeNS: int64(s.idx.ModeledTime()),
+		Node:          s.nodeInfo(),
 	})
+}
+
+// nodeInfo builds the /v1/stats identity block, nil when the server has no
+// cluster identity configured.
+func (s *Server) nodeInfo() *NodeInfo {
+	if s.cfg.NodeID == "" {
+		return nil
+	}
+	vectors := s.cfg.Vectors
+	if sized, ok := s.idx.(interface{ Len() int }); ok {
+		vectors = sized.Len()
+	}
+	idSpace := vectors
+	if hw, ok := s.idx.(interface{ NextID() int }); ok {
+		idSpace = hw.NextID()
+	}
+	return &NodeInfo{
+		ID:       s.cfg.NodeID,
+		Addr:     s.cfg.Addr,
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+		Vectors:  vectors,
+		IDSpace:  idSpace,
+		Dim:      s.cfg.Dim,
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	status := "ok"
@@ -381,7 +418,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	st := s.idx.Stats()
-	writeJSON(w, code, HealthResponse{
+	WriteJSON(w, code, HealthResponse{
 		Status:  status,
 		Backend: string(st.Backend),
 		Boards:  st.Boards,
@@ -406,7 +443,10 @@ func statusFor(err error) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// WriteJSON writes v as indented JSON with the given status — the one
+// response-writing convention of the /v1 wire format, shared with the
+// cluster router so both tiers emit byte-identical envelopes.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -414,6 +454,7 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+// WriteError writes the error envelope serve.Client's decoding expects.
+func WriteError(w http.ResponseWriter, code int, msg string) {
+	WriteJSON(w, code, errorResponse{Error: msg})
 }

@@ -79,6 +79,32 @@ type DeleteResponse struct {
 	Deleted bool `json:"deleted"`
 }
 
+// NodeInfo is the serving node's identity block on /v1/stats: which cluster
+// shard this process serves, where, and how big its slice of the dataset
+// is. The cluster router (internal/cluster) probes it at boot to assign
+// global-ID bases and reads it on aggregation so every ClusterStats line is
+// attributable to a node.
+type NodeInfo struct {
+	// ID names the node, e.g. "shard0-a" (apserve -node-id; defaults to the
+	// listen address).
+	ID string `json:"id"`
+	// Addr is the advertised listen address.
+	Addr string `json:"addr,omitempty"`
+	// UptimeNS is nanoseconds since the serving layer was built.
+	UptimeNS int64 `json:"uptime_ns"`
+	// Vectors is the served dataset's current size (a live index reports
+	// its mutating Len, a static one its boot-time size).
+	Vectors int `json:"vectors"`
+	// IDSpace is the node's local ID-space size: local IDs span
+	// [0, IDSpace). For a static index this equals Vectors; a live index's
+	// ID space only grows (deletes shrink Vectors but IDs are never
+	// reused), so the router's global-ID base assignment must use this,
+	// not Vectors.
+	IDSpace int `json:"id_space"`
+	// Dim is the served dataset's dimensionality.
+	Dim int `json:"dim,omitempty"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	// Backend is the served Index's own counters.
@@ -87,6 +113,9 @@ type StatsResponse struct {
 	Serving apknn.ServingStats `json:"serving"`
 	// ModeledTimeNS is the backend's accumulated modeled wall-clock.
 	ModeledTimeNS int64 `json:"modeled_time_ns"`
+	// Node identifies this server within a cluster; present when the server
+	// was configured with a NodeID.
+	Node *NodeInfo `json:"node,omitempty"`
 }
 
 // HealthResponse answers GET /healthz.

@@ -128,6 +128,13 @@ func (l *LiveIndex) Close() error { return l.eng.Close() }
 // Len returns the number of live (inserted or seed, not deleted) vectors.
 func (l *LiveIndex) Len() int { return l.eng.Len() }
 
+// NextID returns the global ID the next Insert will assign — the index's
+// ID-space high-water mark. Unlike Len it never shrinks: deletes remove
+// vectors but their IDs are never reused, so local IDs span [0, NextID).
+// The cluster tier sizes shard ranges from this, not Len, so global IDs
+// cannot collide across shards after deletes.
+func (l *LiveIndex) NextID() int { return l.eng.NextID() }
+
 // Search implements Index over the current live vector set.
 func (l *LiveIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Neighbor, error) {
 	res, err := l.eng.Search(ctx, queries, k)

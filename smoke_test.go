@@ -7,9 +7,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -132,6 +134,25 @@ func TestSmokeBinaries(t *testing.T) {
 				"at distance 0",
 				"still returned: false",
 				"generation 1",
+			},
+		},
+		{
+			name: "apbench-cluster",
+			pkg:  "./cmd/apbench",
+			args: []string{"-exp", "cluster"},
+			want: []string{
+				"Cluster scatter-gather: shards x replicas x hedging",
+				"cluster QPS (modeled) = queries / max-across-nodes modeled time",
+			},
+		},
+		{
+			name: "cluster",
+			pkg:  "./examples/cluster",
+			args: nil,
+			want: []string{
+				"scatter-gather vs single-index exact scan: 8/8 queries byte-identical",
+				"after the kill: 8/8 queries still byte-identical",
+				"3/4 replicas healthy",
 			},
 		},
 		{
@@ -447,5 +468,216 @@ func TestSmokeApserve(t *testing.T) {
 	}
 	if !strings.Contains(logs.String(), "served 1 requests") {
 		t.Errorf("final drain log missing served-requests line:\n%s", logs.String())
+	}
+}
+
+// startServeNode boots one apserve binary on an ephemeral port and returns
+// its bound address and process handle (for mid-test kills); the process
+// is also killed via t.Cleanup.
+func startServeNode(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	logs := &bytes.Buffer{}
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		logs.WriteString(line + "\n")
+		if i := strings.Index(line, "serving on "); i >= 0 {
+			addr = strings.Fields(line[i+len("serving on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("%v never logged its address:\n%s", cmd.Args, logs.String())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return addr, cmd
+}
+
+// TestSmokeAprouter is the cluster lifecycle, binary edition: three apserve
+// nodes (two shards, the first replicated), an aprouter resolving shard
+// bases by probing them, searches and tail-shard inserts through the
+// router, a replica killed mid-run with service intact, then a SIGTERM
+// drain.
+func TestSmokeAprouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	apserveBin := filepath.Join(dir, "apserve")
+	aprouterBin := filepath.Join(dir, "aprouter")
+	for pkg, bin := range map[string]string{"./cmd/apserve": apserveBin, "./cmd/aprouter": aprouterBin} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	// Shard 0 is replicated: same seed, same size, identical data.
+	nodeArgs := []string{"-n", "1024", "-dim", "16", "-live", "-compact-interval", "0"}
+	shard0a, _ := startServeNode(t, apserveBin, append(nodeArgs, "-seed", "100", "-node-id", "shard0-a")...)
+	shard0b, shard0bCmd := startServeNode(t, apserveBin, append(nodeArgs, "-seed", "100", "-node-id", "shard0-b")...)
+	shard1, _ := startServeNode(t, apserveBin, append(nodeArgs, "-seed", "200", "-node-id", "shard1-a")...)
+
+	manifest := filepath.Join(dir, "cluster.json")
+	router := exec.Command(aprouterBin, "-addr", "127.0.0.1:0",
+		"-shards", fmt.Sprintf("%s,%s;%s", shard0a, shard0b, shard1),
+		"-hedge", "5ms", "-probe-interval", "200ms", "-write-manifest", manifest)
+	rerr, err := router.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = router.Process.Kill() }()
+	// rlogs is appended by the drain goroutine while failure paths read it,
+	// so every access holds the mutex.
+	var (
+		rlogsMu sync.Mutex
+		rlogs   bytes.Buffer
+	)
+	logLine := func(line string) {
+		rlogsMu.Lock()
+		rlogs.WriteString(line + "\n")
+		rlogsMu.Unlock()
+	}
+	logText := func() string {
+		rlogsMu.Lock()
+		defer rlogsMu.Unlock()
+		return rlogs.String()
+	}
+	rsc := bufio.NewScanner(rerr)
+	var raddr string
+	for rsc.Scan() {
+		line := rsc.Text()
+		logLine(line)
+		if i := strings.Index(line, " on 127."); i >= 0 && strings.Contains(line, "routing") {
+			raddr = strings.Fields(line[i+len(" on "):])[0]
+			break
+		}
+	}
+	if raddr == "" {
+		t.Fatalf("aprouter never logged its address:\n%s", logText())
+	}
+	go func() {
+		for rsc.Scan() {
+			logLine(rsc.Text())
+		}
+	}()
+
+	base := "http://" + raddr
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	call := func(method, path, body string) (int, map[string]interface{}) {
+		t.Helper()
+		var rd *strings.Reader
+		if body == "" {
+			rd = strings.NewReader("")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		req, _ := http.NewRequestWithContext(ctx, method, base+path, rd)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		var decoded map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v", method, path, err)
+		}
+		return resp.StatusCode, decoded
+	}
+
+	// The recorded manifest carries the probed bases: 0 and 1024.
+	mbuf, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mjson struct {
+		Shards []struct {
+			Base     int      `json:"base"`
+			Replicas []string `json:"replicas"`
+		} `json:"shards"`
+		Dim int `json:"dim"`
+	}
+	if err := json.Unmarshal(mbuf, &mjson); err != nil {
+		t.Fatal(err)
+	}
+	if len(mjson.Shards) != 2 || mjson.Shards[0].Base != 0 || mjson.Shards[1].Base != 1024 ||
+		len(mjson.Shards[0].Replicas) != 2 || mjson.Dim != 16 {
+		t.Fatalf("recorded manifest = %s", mbuf)
+	}
+
+	query := strings.Repeat("10", 8)
+	if code, res := call("GET", "/healthz", ""); code != 200 {
+		t.Fatalf("healthz: HTTP %d: %v", code, res)
+	}
+	// The probed manifest dim lets the router refuse a wrong-length query
+	// locally instead of scattering it.
+	if code, res := call("POST", "/v1/search", `{"query":"1010","k":5}`); code != 400 {
+		t.Fatalf("wrong-dim search: HTTP %d: %v, want 400", code, res)
+	}
+	code, res := call("POST", "/v1/search", fmt.Sprintf(`{"query":%q,"k":5}`, query))
+	if code != 200 || len(res["neighbors"].([]interface{})) != 5 {
+		t.Fatalf("search: HTTP %d: %v", code, res)
+	}
+	// Inserts route to the tail shard (one replica): global ID = 1024+1024.
+	code, ins := call("POST", "/v1/insert", fmt.Sprintf(`{"vector":%q}`, query))
+	if code != 200 || int(ins["id"].(float64)) != 2048 || int(ins["acked"].(float64)) != 1 {
+		t.Fatalf("insert: HTTP %d: %v", code, ins)
+	}
+	code, res = call("POST", "/v1/search", fmt.Sprintf(`{"query":%q,"k":1}`, query))
+	if code != 200 {
+		t.Fatalf("search after insert: HTTP %d: %v", code, res)
+	}
+	if nb := res["neighbors"].([]interface{})[0].(map[string]interface{}); int(nb["id"].(float64)) != 2048 || nb["dist"].(float64) != 0 {
+		t.Fatalf("inserted vector not first: %v", res)
+	}
+
+	// Kill the shard-0 replica; the router must keep answering.
+	if err := shard0bCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond) // a probe pass ejects it
+	for i := 0; i < 3; i++ {
+		code, res = call("POST", "/v1/search", fmt.Sprintf(`{"query":%q,"k":5}`, query))
+		if code != 200 || len(res["neighbors"].([]interface{})) != 5 {
+			t.Fatalf("search %d after replica death: HTTP %d: %v", i, code, res)
+		}
+	}
+	code, st := call("GET", "/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: HTTP %d: %v", code, st)
+	}
+	cl := st["cluster"].(map[string]interface{})
+	if cl["healthy"].(float64) != 2 || cl["replicas"].(float64) != 3 {
+		t.Fatalf("cluster stats after kill: %v", cl)
+	}
+
+	if err := router.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- router.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("aprouter exited dirty: %v\n%s", err, logText())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("aprouter did not drain after SIGTERM\n%s", logText())
 	}
 }

@@ -114,6 +114,78 @@ type ServingStats struct {
 	MeanBatch float64 `json:"mean_batch"`
 }
 
+// ClusterStats is the routing-tier snapshot of a multi-node cluster
+// (internal/cluster, cmd/aprouter): scatter-gather, replication and hedging
+// counters, plus a per-node block attributing shard-local numbers fetched
+// from each node's /v1/stats. GET /v1/stats on an aprouter reports it under
+// "cluster".
+type ClusterStats struct {
+	// Shards is the number of dataset partitions in the manifest.
+	Shards int `json:"shards"`
+	// Replicas is the total replica endpoints across all shards.
+	Replicas int `json:"replicas"`
+	// Healthy is how many replicas the health prober currently admits.
+	Healthy int `json:"healthy"`
+	// Searches routed through /v1/search since boot.
+	Searches int64 `json:"searches"`
+	// BatchSearches routed through /v1/search_batch since boot.
+	BatchSearches int64 `json:"batch_searches"`
+	// Inserts routed to the tail shard via /v1/insert.
+	Inserts int64 `json:"inserts"`
+	// Deletes routed to the owning shard via /v1/delete.
+	Deletes int64 `json:"deletes"`
+	// ShardCalls is the total per-shard legs scattered (searches × shards,
+	// plus failovers and hedges).
+	ShardCalls int64 `json:"shard_calls"`
+	// Hedges is how many hedged second requests were fired after the hedge
+	// delay expired with the primary still silent.
+	Hedges int64 `json:"hedges"`
+	// HedgeWins is how many hedged requests answered first.
+	HedgeWins int64 `json:"hedge_wins"`
+	// Failovers is how many legs were re-sent to another replica after an
+	// error.
+	Failovers int64 `json:"failovers"`
+	// Retries is how many 429/503 answers were retried after backoff
+	// (honoring Retry-After) against the same replica.
+	Retries int64 `json:"retries"`
+	// Ejected / Readmitted count health-state transitions: a replica is
+	// ejected on a failed probe or transport error and readmitted when a
+	// probe succeeds again.
+	Ejected    int64 `json:"ejected"`
+	Readmitted int64 `json:"readmitted"`
+	// PerNode attributes per-shard numbers to individual replicas, fetched
+	// live from each node's /v1/stats at snapshot time.
+	PerNode []NodeStats `json:"per_node,omitempty"`
+}
+
+// NodeStats is one replica's line inside ClusterStats.PerNode.
+type NodeStats struct {
+	// Shard is the partition index this node serves.
+	Shard int `json:"shard"`
+	// Base is the first global ID of the shard's range.
+	Base int `json:"base"`
+	// Addr is the replica's base URL.
+	Addr string `json:"addr"`
+	// NodeID is the node's self-reported identity (apserve -node-id).
+	NodeID string `json:"node_id,omitempty"`
+	// Healthy is the router's current admission state for this replica.
+	Healthy bool `json:"healthy"`
+	// Queries and Batches are the node's own backend counters.
+	Queries int64 `json:"queries,omitempty"`
+	Batches int64 `json:"batches,omitempty"`
+	// Vectors is the node's live dataset size. It can be smaller than the
+	// node's local ID space once deletes have happened — range sizing uses
+	// the node's reported IDSpace, not this.
+	Vectors int `json:"vectors,omitempty"`
+	// UptimeNS is the node's self-reported uptime.
+	UptimeNS int64 `json:"uptime_ns,omitempty"`
+	// ModeledTimeNS is the node's accumulated modeled platform time.
+	ModeledTimeNS int64 `json:"modeled_time_ns,omitempty"`
+	// Error is set when the stats fetch from this node failed; the counter
+	// fields are then zero.
+	Error string `json:"error,omitempty"`
+}
+
 // counters is the query/batch accounting embedded by every built-in index.
 type counters struct {
 	queries atomic.Int64
