@@ -28,6 +28,7 @@
 package apknn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -56,9 +57,25 @@ const (
 	Gen2 Generation = 2
 )
 
-// ExactSearch is the CPU reference: an exact multi-threaded linear scan.
+// ExactSearch is the CPU reference: an exact multi-threaded linear scan
+// through the blocked Hamming kernel. It panics on invalid arguments (k <= 0
+// or a query of the wrong dimensionality) — in the calling goroutine, where
+// a recover can catch it, never inside a worker goroutine. Servers and other
+// callers handling untrusted input should use ExactSearchContext, which
+// returns ErrBadK/ErrDimMismatch instead.
 func ExactSearch(ds *Dataset, queries []Vector, k, workers int) [][]Neighbor {
-	return knn.Batch(ds, queries, k, workers)
+	out, err := knn.Batch(ds, queries, k, workers)
+	if err != nil {
+		panic(fmt.Sprintf("apknn.ExactSearch: %v", err))
+	}
+	return out
+}
+
+// ExactSearchContext is the error-returning, cancelable form of ExactSearch:
+// a non-positive k yields ErrBadK, a mismatched query ErrDimMismatch, and a
+// canceled context ErrCanceled, all matchable with errors.Is.
+func ExactSearchContext(ctx context.Context, ds *Dataset, queries []Vector, k, workers int) ([][]Neighbor, error) {
+	return knn.BatchContext(ctx, ds, queries, k, workers)
 }
 
 // Recall returns |got ∩ exact| / |exact| by vector ID.

@@ -2,9 +2,10 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn, cluster)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, hotpath)
 //	apbench -all              # everything
 //	apbench -exp churn -json bench.json   # also emit machine-readable results
+//	apbench -exp hotpath -cpuprofile cpu.pprof   # profile the scan kernel
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/knn"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -53,11 +57,23 @@ type benchRecord struct {
 	P99NS *int64 `json:"p99_ns,omitempty"`
 	// Recall is mean recall@k against the exact scan.
 	Recall *float64 `json:"recall,omitempty"`
+	// NSPerQuery is the measured host nanoseconds per query (hotpath).
+	NSPerQuery *int64 `json:"ns_per_query,omitempty"`
+	// GBPerSec is the packed-word scan bandwidth the cell sustained.
+	GBPerSec *float64 `json:"gb_per_sec,omitempty"`
+	// Speedup is host speedup versus the cell's Linear oracle baseline.
+	Speedup *float64 `json:"speedup,omitempty"`
+	// OracleMatch reports whether the cell's results were byte-identical
+	// to the Linear oracle (hotpath cells always verify; a false here
+	// aborts the run, so persisted rows are always true).
+	OracleMatch *bool `json:"oracle_match,omitempty"`
 }
 
 func fptr(v float64) *float64 { return &v }
 
 func iptr(v int64) *int64 { return &v }
+
+func bptr(v bool) *bool { return &v }
 
 // benchJSON collects benchRecords across experiments and writes the
 // BENCH_*.json-style artifact at exit.
@@ -70,6 +86,9 @@ type benchJSON struct {
 // recorder is nil unless -json was given; experiments append through record.
 var recorder *benchJSON
 
+// quick shrinks experiment grids and measurement targets for CI smoke runs.
+var quick bool
+
 func record(r benchRecord) {
 	if recorder != nil {
 		recorder.Results = append(recorder.Results, r)
@@ -78,11 +97,45 @@ func record(r benchRecord) {
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn, cluster")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, hotpath")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	jsonPath := flag.String("json", "", "also write machine-readable results (schema apbench/v1) to this path")
+	quickFlag := flag.Bool("quick", false, "shrink experiment grids and timing targets (CI smoke)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+	quick = *quickFlag
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "apbench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *jsonPath != "" {
 		recorder = &benchJSON{Schema: "apbench/v1", GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
@@ -92,7 +145,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn", "cluster"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn", "cluster", "hotpath"} {
 			runExperiment(e)
 		}
 	case *table != 0:
@@ -230,6 +283,8 @@ func runExperiment(name string) {
 		churnExperiment()
 	case "cluster":
 		clusterExperiment()
+	case "hotpath":
+		hotpathExperiment()
 	default:
 		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", name)
 		os.Exit(2)
@@ -865,4 +920,152 @@ func muxExperiment() {
 			fmt.Sprintf("%.0fx", core.MuxThroughputGain(slices)))
 	}
 	tb.Render(os.Stdout)
+}
+
+// hotpathExperiment is the real wall-clock benchmark of the blocked parallel
+// Hamming kernel (internal/knn Scan) versus the Linear oracle it must match
+// byte-for-byte: a n x dim x workers x block-size sweep reporting ns/query,
+// host QPS, sustained scan bandwidth, and speedup over the oracle. Every cell
+// re-verifies kernel results against Linear and aborts on any divergence, so
+// a committed BENCH_hotpath.json can only ever contain oracle-identical
+// cells. Unlike every other experiment here, the modeled column is secondary:
+// this sweep is the committed trajectory of what the host actually sustains.
+func hotpathExperiment() {
+	ns := []int{1 << 15, 100_000}
+	dims := []int{64, 128}
+	workerSet := dedupInts([]int{1, 2, 4, runtime.NumCPU()})
+	blocks := []int{0, 1024, 8192} // 0 = auto (L2-sized)
+	target := 150 * time.Millisecond
+	if quick {
+		ns = []int{1 << 14}
+		workerSet = dedupInts([]int{1, runtime.NumCPU()})
+		blocks = []int{0}
+		target = 30 * time.Millisecond
+	}
+	const k, nq = 10, 16
+
+	tb := report.NewTable(
+		fmt.Sprintf("Hot path: blocked Hamming kernel vs Linear oracle (k=%d, >=%.0fms/cell)",
+			k, target.Seconds()*1000),
+		"n", "dim", "impl", "workers", "block", "ns/query", "host QPS", "GB/s", "speedup", "oracle")
+	rng := stats.NewRNG(2026)
+	platform := perfmodel.XeonE5()
+	for _, n := range ns {
+		for _, dim := range dims {
+			ds := bitvec.RandomDataset(rng, n, dim)
+			queries := workload.Queries(rng, nq, dim)
+			bytesPerQuery := int64(ds.Len()) * int64(bitvec.WordsFor(dim)) * 8
+			modeledQPS := 1 / perfmodel.CPUTime(platform, n, 1, dim).Seconds()
+
+			baseNS := timeHotpath(target, queries, func(q bitvec.Vector) {
+				knn.Linear(ds, q, k)
+			})
+			tb.Row(n, dim, "linear", 1, "-",
+				baseNS, fmt.Sprintf("%.0f", 1e9/float64(baseNS)),
+				fmt.Sprintf("%.2f", gbPerSec(bytesPerQuery, baseNS)), "1.00x", true)
+			record(benchRecord{
+				Experiment:  "hotpath",
+				Params:      map[string]interface{}{"impl": "linear", "n": n, "dim": dim, "k": k, "workers": 1, "block": 0},
+				ModeledQPS:  modeledQPS,
+				HostQPS:     fptr(1e9 / float64(baseNS)),
+				NSPerQuery:  iptr(baseNS),
+				GBPerSec:    fptr(gbPerSec(bytesPerQuery, baseNS)),
+				Speedup:     fptr(1),
+				OracleMatch: bptr(true),
+			})
+
+			for _, workers := range workerSet {
+				for _, block := range blocks {
+					cfg := knn.ScanConfig{Workers: workers, BlockVectors: block}
+					for _, q := range queries {
+						got, err := knn.Scan(ds, q, k, cfg)
+						if err != nil {
+							fmt.Fprintln(os.Stderr, "apbench: hotpath:", err)
+							os.Exit(1)
+						}
+						if !neighborsIdentical(got, knn.Linear(ds, q, k)) {
+							fmt.Fprintf(os.Stderr,
+								"apbench: hotpath: kernel diverged from Linear oracle at n=%d dim=%d workers=%d block=%d\n",
+								n, dim, workers, block)
+							os.Exit(1)
+						}
+					}
+					cellNS := timeHotpath(target, queries, func(q bitvec.Vector) {
+						if _, err := knn.Scan(ds, q, k, cfg); err != nil {
+							fmt.Fprintln(os.Stderr, "apbench: hotpath:", err)
+							os.Exit(1)
+						}
+					})
+					speedup := float64(baseNS) / float64(cellNS)
+					blockLabel := fmt.Sprintf("%d", block)
+					if block == 0 {
+						blockLabel = "auto"
+					}
+					tb.Row(n, dim, "kernel", workers, blockLabel,
+						cellNS, fmt.Sprintf("%.0f", 1e9/float64(cellNS)),
+						fmt.Sprintf("%.2f", gbPerSec(bytesPerQuery, cellNS)),
+						fmt.Sprintf("%.2fx", speedup), true)
+					record(benchRecord{
+						Experiment:  "hotpath",
+						Params:      map[string]interface{}{"impl": "kernel", "n": n, "dim": dim, "k": k, "workers": workers, "block": block},
+						ModeledQPS:  modeledQPS,
+						HostQPS:     fptr(1e9 / float64(cellNS)),
+						NSPerQuery:  iptr(cellNS),
+						GBPerSec:    fptr(gbPerSec(bytesPerQuery, cellNS)),
+						Speedup:     fptr(speedup),
+						OracleMatch: bptr(true),
+					})
+				}
+			}
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("ns/query is single-query latency (adaptive reps per cell); GB/s is packed-word scan")
+	fmt.Println("bandwidth; speedup is vs the Linear oracle on the same (n, dim). Every kernel cell")
+	fmt.Println("is verified byte-identical to Linear before timing — a divergence aborts the run.")
+}
+
+// timeHotpath runs fn over the query set round-robin until at least target
+// wall-clock has elapsed (minimum one full pass) and returns ns per call.
+func timeHotpath(target time.Duration, queries []bitvec.Vector, fn func(bitvec.Vector)) int64 {
+	fn(queries[0]) // warm up caches and the scheduler
+	reps := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < target || reps < len(queries) {
+		fn(queries[reps%len(queries)])
+		reps++
+		elapsed = time.Since(start)
+	}
+	return elapsed.Nanoseconds() / int64(reps)
+}
+
+func gbPerSec(bytesPerQuery, nsPerQuery int64) float64 {
+	return float64(bytesPerQuery) / float64(nsPerQuery) // bytes/ns == GB/s
+}
+
+func dedupInts(in []int) []int {
+	var out []int
+	for _, v := range in {
+		seen := false
+		for _, o := range out {
+			seen = seen || o == v
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func neighborsIdentical(a, b []knn.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

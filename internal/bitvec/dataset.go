@@ -68,6 +68,18 @@ func (ds *Dataset) WordsAt(i int) []uint64 {
 	return ds.words[i*ds.wordsPV : (i+1)*ds.wordsPV]
 }
 
+// Words returns the packed backing words of all vectors as one contiguous
+// slab — vector i occupies words [i*WordsPerVector(), (i+1)*WordsPerVector()).
+// The blocked scan kernel streams this directly; callers must not mutate it,
+// and (like At) must not hold it across a concurrent Append.
+func (ds *Dataset) Words() []uint64 {
+	return ds.words[:ds.n*ds.wordsPV]
+}
+
+// WordsPerVector returns the stride of the packed slab: the number of 64-bit
+// words each vector occupies, WordsFor(Dim()).
+func (ds *Dataset) WordsPerVector() int { return ds.wordsPV }
+
 // Slice returns a new dataset sharing storage with vectors [lo, hi).
 func (ds *Dataset) Slice(lo, hi int) *Dataset {
 	if lo < 0 || hi > ds.n || lo > hi {
@@ -95,8 +107,11 @@ func (ds *Dataset) Hamming(i int, q Vector) int {
 	return ds.At(i).Hamming(q)
 }
 
-// BytesEncoded returns the total number of data bits encoded, the figure the
+// BytesEncoded returns the total number of encoded data bytes, the figure the
 // paper reports as "128 Kb of encoded data per board configuration" (§V-A).
+// Each vector is accounted at its own byte-rounded size — ceil(dim/8) — so
+// dimensionalities that are not byte multiples are not under-reported (a
+// dim=12 vector encodes 2 bytes, not 1).
 func (ds *Dataset) BytesEncoded() int {
-	return ds.n * ds.dim / 8
+	return ds.n * ((ds.dim + 7) / 8)
 }

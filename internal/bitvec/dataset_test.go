@@ -83,6 +83,45 @@ func TestDatasetBytesEncoded(t *testing.T) {
 	}
 }
 
+// Regression: dims that are not byte multiples round up per vector instead of
+// truncating (dim=12 used to count 1 byte per vector, dim=1 counted 0).
+func TestDatasetBytesEncodedRoundsUp(t *testing.T) {
+	cases := []struct {
+		n, dim, want int
+	}{
+		{10, 12, 20}, // ceil(12/8) = 2 bytes each
+		{5, 1, 5},    // ceil(1/8) = 1 byte each, was 0
+		{3, 8, 3},    // exact byte multiple unchanged
+		{7, 65, 63},  // ceil(65/8) = 9 bytes each
+	}
+	for _, c := range cases {
+		ds := RandomDataset(stats.NewRNG(uint64(c.dim)), c.n, c.dim)
+		if got := ds.BytesEncoded(); got != c.want {
+			t.Errorf("n=%d dim=%d: BytesEncoded = %d, want %d", c.n, c.dim, got, c.want)
+		}
+	}
+}
+
+func TestDatasetWordsSlab(t *testing.T) {
+	ds := RandomDataset(stats.NewRNG(3), 9, 100)
+	wpv := ds.WordsPerVector()
+	if wpv != WordsFor(100) {
+		t.Fatalf("WordsPerVector = %d, want %d", wpv, WordsFor(100))
+	}
+	slab := ds.Words()
+	if len(slab) != 9*wpv {
+		t.Fatalf("Words len = %d, want %d", len(slab), 9*wpv)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		row := slab[i*wpv : (i+1)*wpv]
+		for w, want := range ds.WordsAt(i) {
+			if row[w] != want {
+				t.Fatalf("vector %d word %d: slab %x != WordsAt %x", i, w, row[w], want)
+			}
+		}
+	}
+}
+
 func TestDatasetAtOutOfRangePanics(t *testing.T) {
 	ds := RandomDataset(stats.NewRNG(2), 4, 16)
 	defer func() {

@@ -144,7 +144,10 @@ func TestApproxEngineSubsetOfExactAndHonest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact := knn.Batch(ds, queries, k, 1)
+	exact, err := knn.Batch(ds, queries, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	recallSum := 0.0
 	for qi := range queries {
 		// Distances must be honest for every returned neighbor.

@@ -318,7 +318,10 @@ func TestEngineMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := knn.Batch(ds, queries, k, 1)
+	want, err := knn.Batch(ds, queries, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for qi := range queries {
 		if len(got[qi]) != len(want[qi]) {
 			t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want[qi]))

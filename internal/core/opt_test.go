@@ -160,7 +160,10 @@ func TestMuxMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := knn.Batch(ds, queries, k, 1)
+	want, err := knn.Batch(ds, queries, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for qi := range queries {
 		got := TopK(decoded[qi], k)
 		if len(got) != len(want[qi]) {

@@ -25,7 +25,10 @@ func TestSearchMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := knn.Batch(ds, queries, 5, 1)
+	want, err := knn.Batch(ds, queries, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for qi := range queries {
 		if len(res.Neighbors[qi]) != len(want[qi]) {
 			t.Fatalf("query %d: %d results, want %d", qi, len(res.Neighbors[qi]), len(want[qi]))
@@ -118,7 +121,10 @@ func TestSearchTieBreakMatchesExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := knn.Batch(ds, queries, 12, 1)
+	want, err := knn.Batch(ds, queries, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for qi := range queries {
 		if len(res.Neighbors[qi]) != len(want[qi]) {
 			t.Fatalf("query %d: %d results, want %d", qi, len(res.Neighbors[qi]), len(want[qi]))

@@ -25,7 +25,10 @@ func TestSearchMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := knn.Batch(ds, queries, 4, 1)
+	want, err := knn.Batch(ds, queries, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for qi := range queries {
 		for j := range want[qi] {
 			if res.Neighbors[qi][j] != want[qi][j] {
@@ -97,7 +100,10 @@ func TestSearchTieBreakMatchesExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := knn.Batch(ds, queries, 12, 1)
+		want, err := knn.Batch(ds, queries, 12, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for qi := range queries {
 			if len(res.Neighbors[qi]) != len(want[qi]) {
 				t.Fatalf("%s query %d: %d results, want %d", cfg.Name, qi, len(res.Neighbors[qi]), len(want[qi]))

@@ -1,0 +1,554 @@
+// The production hot-path kernel: a cache-blocked, goroutine-parallel
+// bit-Hamming scan. Where Linear is the readable oracle — one slice header,
+// one function call, one heap interaction per vector — the kernel streams
+// the dataset's packed-word slab in L2-sized blocks, specializes and unrolls
+// the XOR+POPCNT inner loop per word count, keeps a bounded per-core heap
+// whose threshold prunes candidates with a single integer compare, and
+// merges per-core partials through MergeTopK. Results are byte-identical to
+// Linear: the same (Dist, ID) tie-break everywhere, and the global top-k is
+// always contained in the union of per-shard top-k sets.
+//
+// Entry points are panic-proof: Scan and ScanBatch validate k and query
+// dimensionality up front and return typed errors in the calling goroutine,
+// so a hostile wire-supplied k can never kill a worker goroutine (and with
+// it the serving process).
+package knn
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+)
+
+// ScanConfig tunes the kernel. The zero value auto-sizes everything: one
+// worker per CPU (bounded so each shard stays worth a goroutine) and blocks
+// sized to defaultBlockBytes of packed data.
+type ScanConfig struct {
+	// Workers is the data-parallel width for a single query (the paper's
+	// §II-A data-level parallelism) and the query-parallel width for large
+	// batches. <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BlockVectors is the number of vectors per cache block. <= 0 derives it
+	// from defaultBlockBytes and the vector width.
+	BlockVectors int
+}
+
+const (
+	// defaultBlockBytes is the packed-data footprint of one kernel block,
+	// sized to sit comfortably in L2 next to the query words and heaps —
+	// small enough that the multi-query path reuses a resident block across
+	// all queries, large enough that the block loop is free.
+	defaultBlockBytes = 64 << 10
+	// minShardVectors is the smallest per-worker range worth a goroutine:
+	// below this, spawn-and-merge overhead beats the parallel win.
+	minShardVectors = 2048
+)
+
+// effectiveWorkers resolves the worker count for a scan over n vectors.
+func (cfg ScanConfig) effectiveWorkers(n int) int {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := n / minShardVectors; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// effectiveBlock resolves the block size in vectors for the given stride.
+func (cfg ScanConfig) effectiveBlock(wordsPV int) int {
+	if cfg.BlockVectors > 0 {
+		return cfg.BlockVectors
+	}
+	b := defaultBlockBytes / (8 * wordsPV)
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// TopK is the bounded-heap top-k accumulator the kernel fills: it retains
+// the k best (Dist, ID) candidates seen so far, with Threshold exposing the
+// current worst retained distance so hot loops can prune with one integer
+// compare before touching the heap.
+type TopK struct {
+	k int
+	h maxHeap
+}
+
+// NewTopK returns an accumulator for the k best neighbors. It panics on
+// k <= 0 — the public entry points validate k before any TopK exists, so a
+// non-positive k here is a kernel bug, not a runtime condition.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic(fmt.Sprintf("knn: TopK k must be positive, got %d", k))
+	}
+	// Lazily grown: a hostile wire-supplied k (math.MaxInt) must not
+	// allocate k slots up front. The heap never exceeds min(k, offers).
+	hcap := k
+	if hcap > 1024 {
+		hcap = 1024
+	}
+	return &TopK{k: k, h: make(maxHeap, 0, hcap+1)}
+}
+
+// Offer considers one candidate. It is cheap once the heap is full: a single
+// (Dist, ID) compare against the root unless the candidate displaces it.
+func (t *TopK) Offer(id, dist int) {
+	cand := Neighbor{ID: id, Dist: dist}
+	if len(t.h) < t.k {
+		pushHeap(&t.h, cand)
+		return
+	}
+	if cand.Less(t.h[0]) {
+		t.h[0] = cand
+		fixRoot(t.h)
+	}
+}
+
+// Threshold returns the distance a candidate must not exceed to possibly be
+// retained: the root (worst) distance once the heap is full, MaxInt before.
+// A candidate with dist > Threshold() can be skipped without consulting the
+// heap; dist == Threshold() still needs Offer for the ID tie-break.
+func (t *TopK) Threshold() int {
+	if len(t.h) < t.k {
+		return math.MaxInt
+	}
+	return t.h[0].Dist
+}
+
+// Len returns the number of retained candidates.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Neighbors drains the accumulator as a (Dist, ID)-sorted result list.
+func (t *TopK) Neighbors() []Neighbor {
+	out := []Neighbor(t.h)
+	t.h = nil
+	SortNeighbors(out)
+	return out
+}
+
+// pushHeap and fixRoot are container/heap's Push and Fix(0) specialized to
+// maxHeap: the interface{} boxing and indirect method calls of the generic
+// versions are measurable at one call per retained candidate.
+func pushHeap(h *maxHeap, n Neighbor) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[parent].Less((*h)[i]) { // parent >= child in max-heap order
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func fixRoot(h maxHeap) {
+	i := 0
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h[worst].Less(h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h[worst].Less(h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// ScanBlock streams one contiguous block of n packed vectors into t: slab
+// holds wordsPV words per vector, vector i gets ID baseID+i, qw is the
+// query's packed words. This is the unrolled XOR+POPCNT inner loop shared by
+// every scan in the repository — the dataset kernel iterates it over
+// L2-sized slices of the backing slab, internal/live iterates it over delta
+// chunks. It panics on a malformed block (a kernel-caller bug, never
+// reachable from validated public entry points).
+func ScanBlock(t *TopK, slab []uint64, wordsPV int, qw []uint64, baseID, n int) {
+	if wordsPV <= 0 || n < 0 || len(slab) < n*wordsPV || len(qw) < wordsPV {
+		panic(fmt.Sprintf("knn: malformed block: %d words, stride %d, %d vectors, %d query words",
+			len(slab), wordsPV, n, len(qw)))
+	}
+	worst := t.Threshold()
+	switch wordsPV {
+	case 1:
+		q0 := qw[0]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			// Four independent distance chains per iteration keep the
+			// POPCNT pipeline full instead of serializing on one counter.
+			d0 := bits.OnesCount64(slab[i] ^ q0)
+			d1 := bits.OnesCount64(slab[i+1] ^ q0)
+			d2 := bits.OnesCount64(slab[i+2] ^ q0)
+			d3 := bits.OnesCount64(slab[i+3] ^ q0)
+			if d0 <= worst {
+				t.Offer(baseID+i, d0)
+				worst = t.Threshold()
+			}
+			if d1 <= worst {
+				t.Offer(baseID+i+1, d1)
+				worst = t.Threshold()
+			}
+			if d2 <= worst {
+				t.Offer(baseID+i+2, d2)
+				worst = t.Threshold()
+			}
+			if d3 <= worst {
+				t.Offer(baseID+i+3, d3)
+				worst = t.Threshold()
+			}
+		}
+		for ; i < n; i++ {
+			if d := bits.OnesCount64(slab[i] ^ q0); d <= worst {
+				t.Offer(baseID+i, d)
+				worst = t.Threshold()
+			}
+		}
+	case 2:
+		q0, q1 := qw[0], qw[1]
+		i, off := 0, 0
+		for ; i+4 <= n; i, off = i+4, off+8 {
+			s := slab[off : off+8 : off+8]
+			d0 := bits.OnesCount64(s[0]^q0) + bits.OnesCount64(s[1]^q1)
+			d1 := bits.OnesCount64(s[2]^q0) + bits.OnesCount64(s[3]^q1)
+			d2 := bits.OnesCount64(s[4]^q0) + bits.OnesCount64(s[5]^q1)
+			d3 := bits.OnesCount64(s[6]^q0) + bits.OnesCount64(s[7]^q1)
+			if d0 <= worst {
+				t.Offer(baseID+i, d0)
+				worst = t.Threshold()
+			}
+			if d1 <= worst {
+				t.Offer(baseID+i+1, d1)
+				worst = t.Threshold()
+			}
+			if d2 <= worst {
+				t.Offer(baseID+i+2, d2)
+				worst = t.Threshold()
+			}
+			if d3 <= worst {
+				t.Offer(baseID+i+3, d3)
+				worst = t.Threshold()
+			}
+		}
+		for ; i < n; i, off = i+1, off+2 {
+			d := bits.OnesCount64(slab[off]^q0) + bits.OnesCount64(slab[off+1]^q1)
+			if d <= worst {
+				t.Offer(baseID+i, d)
+				worst = t.Threshold()
+			}
+		}
+	case 3:
+		q0, q1, q2 := qw[0], qw[1], qw[2]
+		off := 0
+		for i := 0; i < n; i, off = i+1, off+3 {
+			s := slab[off : off+3 : off+3]
+			d := bits.OnesCount64(s[0]^q0) + bits.OnesCount64(s[1]^q1) + bits.OnesCount64(s[2]^q2)
+			if d <= worst {
+				t.Offer(baseID+i, d)
+				worst = t.Threshold()
+			}
+		}
+	case 4:
+		q0, q1, q2, q3 := qw[0], qw[1], qw[2], qw[3]
+		off := 0
+		for i := 0; i < n; i, off = i+1, off+4 {
+			s := slab[off : off+4 : off+4]
+			d := bits.OnesCount64(s[0]^q0) + bits.OnesCount64(s[1]^q1) +
+				bits.OnesCount64(s[2]^q2) + bits.OnesCount64(s[3]^q3)
+			if d <= worst {
+				t.Offer(baseID+i, d)
+				worst = t.Threshold()
+			}
+		}
+	default:
+		off := 0
+		for i := 0; i < n; i, off = i+1, off+wordsPV {
+			s := slab[off : off+wordsPV : off+wordsPV]
+			d := 0
+			w := 0
+			for ; w+4 <= wordsPV; w += 4 {
+				d += bits.OnesCount64(s[w]^qw[w]) + bits.OnesCount64(s[w+1]^qw[w+1]) +
+					bits.OnesCount64(s[w+2]^qw[w+2]) + bits.OnesCount64(s[w+3]^qw[w+3])
+			}
+			for ; w < wordsPV; w++ {
+				d += bits.OnesCount64(s[w] ^ qw[w])
+			}
+			if d <= worst {
+				t.Offer(baseID+i, d)
+				worst = t.Threshold()
+			}
+		}
+	}
+}
+
+// ScanBlockFiltered is ScanBlock with a skip predicate: vector i is ignored
+// when skip(baseID+i) is true. This is the tombstone path of internal/live's
+// delta scan; the unfiltered ScanBlock stays branch-free for the common
+// no-tombstone case.
+func ScanBlockFiltered(t *TopK, slab []uint64, wordsPV int, qw []uint64, baseID, n int, skip func(id int) bool) {
+	if skip == nil {
+		ScanBlock(t, slab, wordsPV, qw, baseID, n)
+		return
+	}
+	if wordsPV <= 0 || n < 0 || len(slab) < n*wordsPV || len(qw) < wordsPV {
+		panic(fmt.Sprintf("knn: malformed block: %d words, stride %d, %d vectors, %d query words",
+			len(slab), wordsPV, n, len(qw)))
+	}
+	worst := t.Threshold()
+	off := 0
+	for i := 0; i < n; i, off = i+1, off+wordsPV {
+		if skip(baseID + i) {
+			continue
+		}
+		s := slab[off : off+wordsPV : off+wordsPV]
+		d := 0
+		w := 0
+		for ; w+4 <= wordsPV; w += 4 {
+			d += bits.OnesCount64(s[w]^qw[w]) + bits.OnesCount64(s[w+1]^qw[w+1]) +
+				bits.OnesCount64(s[w+2]^qw[w+2]) + bits.OnesCount64(s[w+3]^qw[w+3])
+		}
+		for ; w < wordsPV; w++ {
+			d += bits.OnesCount64(s[w] ^ qw[w])
+		}
+		if d <= worst {
+			t.Offer(baseID+i, d)
+			worst = t.Threshold()
+		}
+	}
+}
+
+// scanRange runs the blocked kernel over vectors [lo, hi) of the slab.
+func scanRange(t *TopK, words []uint64, wordsPV int, qw []uint64, lo, hi, block int) {
+	for b := lo; b < hi; b += block {
+		be := b + block
+		if be > hi {
+			be = hi
+		}
+		ScanBlock(t, words[b*wordsPV:be*wordsPV], wordsPV, qw, b, be-b)
+	}
+}
+
+// shardRanges splits [0, n) into workers contiguous ranges of near-equal
+// size; every range is non-empty.
+func shardRanges(n, workers int) [][2]int {
+	out := make([][2]int, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Scan is the single-query kernel entry point: an exact top-k scan of ds,
+// data-parallel across cfg.Workers cores (each worker runs the blocked
+// kernel over its contiguous shard into a private bounded heap; partials
+// merge through MergeTopK), byte-identical to Linear. It returns
+// aperr.ErrBadK for k <= 0 and aperr.ErrDimMismatch for a query of the
+// wrong dimensionality.
+func Scan(ds *bitvec.Dataset, q bitvec.Vector, k int, cfg ScanConfig) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	if q.Dim() != ds.Dim() {
+		return nil, fmt.Errorf("knn: query dim %d != dataset dim %d: %w", q.Dim(), ds.Dim(), aperr.ErrDimMismatch)
+	}
+	n := ds.Len()
+	if n == 0 {
+		return []Neighbor{}, nil
+	}
+	wordsPV := ds.WordsPerVector()
+	words := ds.Words()
+	qw := q.Words()
+	block := cfg.effectiveBlock(wordsPV)
+	workers := cfg.effectiveWorkers(n)
+	if workers == 1 {
+		t := NewTopK(k)
+		scanRange(t, words, wordsPV, qw, 0, n, block)
+		return t.Neighbors(), nil
+	}
+	parts := shardRanges(n, workers)
+	partials := make([][]Neighbor, len(parts))
+	var wg sync.WaitGroup
+	for w, p := range parts {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t := NewTopK(k)
+			scanRange(t, words, wordsPV, qw, lo, hi, block)
+			partials[w] = t.Neighbors()
+		}(w, p[0], p[1])
+	}
+	wg.Wait()
+	merged := partials[0]
+	for _, r := range partials[1:] {
+		merged = MergeTopK(merged, r, k)
+	}
+	return merged, nil
+}
+
+// ScanBatch answers many queries through the kernel, choosing the
+// parallelism axis by shape (§II-A evaluates both):
+//
+//   - batches with at least as many queries as workers use query-level
+//     parallelism — each worker owns whole queries and streams the dataset
+//     with the blocked kernel;
+//   - smaller batches (a single query in the extreme) use data-level
+//     parallelism — the dataset is sharded across workers and every worker
+//     scans each L2-resident block once per query, so the block is fetched
+//     from memory once, not once per query.
+//
+// Cancellation is checked between queries and between blocks; a canceled
+// context returns an error wrapping aperr.ErrCanceled instead of a partial
+// result set.
+func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector, k int, cfg ScanConfig) ([][]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: got k=%d: %w", k, aperr.ErrBadK)
+	}
+	for i, q := range queries {
+		if q.Dim() != ds.Dim() {
+			return nil, fmt.Errorf("knn: query %d dim %d != dataset dim %d: %w", i, q.Dim(), ds.Dim(), aperr.ErrDimMismatch)
+		}
+	}
+	out := make([][]Neighbor, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	n := ds.Len()
+	if n == 0 {
+		for i := range out {
+			out[i] = []Neighbor{}
+		}
+		return out, nil
+	}
+	wordsPV := ds.WordsPerVector()
+	words := ds.Words()
+	block := cfg.effectiveBlock(wordsPV)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if workers <= 1 {
+		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, aperr.Canceled(err)
+			}
+			t := NewTopK(k)
+			scanRange(t, words, wordsPV, q.Words(), 0, n, block)
+			out[i] = t.Neighbors()
+		}
+		return out, nil
+	}
+
+	if len(queries) >= workers {
+		// Query-level parallelism: workers pull query indexes off a shared
+		// feed; each full scan stays on one core.
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if ctx.Err() != nil {
+						return
+					}
+					t := NewTopK(k)
+					scanRange(t, words, wordsPV, queries[i].Words(), 0, n, block)
+					out[i] = t.Neighbors()
+				}
+			}()
+		}
+	feed:
+		for i := range queries {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, aperr.Canceled(err)
+		}
+		return out, nil
+	}
+
+	// Data-level parallelism: shard the dataset, scan every query against
+	// each resident block before moving on, merge per-query partials.
+	dataWorkers := cfg.effectiveWorkers(n)
+	qws := make([][]uint64, len(queries))
+	for i, q := range queries {
+		qws[i] = q.Words()
+	}
+	parts := shardRanges(n, dataWorkers)
+	partials := make([][][]Neighbor, len(parts)) // [part][query]
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for w, p := range parts {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			heaps := make([]*TopK, len(qws))
+			for qi := range heaps {
+				heaps[qi] = NewTopK(k)
+			}
+			for b := lo; b < hi; b += block {
+				if canceled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				be := b + block
+				if be > hi {
+					be = hi
+				}
+				slab := words[b*wordsPV : be*wordsPV]
+				for qi, qw := range qws {
+					ScanBlock(heaps[qi], slab, wordsPV, qw, b, be-b)
+				}
+			}
+			res := make([][]Neighbor, len(heaps))
+			for qi, t := range heaps {
+				res[qi] = t.Neighbors()
+			}
+			partials[w] = res
+		}(w, p[0], p[1])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, aperr.Canceled(err)
+	}
+	for qi := range queries {
+		merged := partials[0][qi]
+		for _, part := range partials[1:] {
+			merged = MergeTopK(merged, part[qi], k)
+		}
+		out[qi] = merged
+	}
+	return out, nil
+}

@@ -12,9 +12,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
-	"sync"
 
-	"repro/internal/aperr"
 	"repro/internal/bitvec"
 )
 
@@ -175,42 +173,6 @@ func partition(ns []Neighbor, lo, hi int) int {
 	return store
 }
 
-// LinearParallel shards the dataset across workers (data-level parallelism,
-// §II-A) and merges the per-shard top-k sets.
-func LinearParallel(ds *bitvec.Dataset, q bitvec.Vector, k, workers int) []Neighbor {
-	if workers <= 1 || ds.Len() < 2*workers {
-		return Linear(ds, q, k)
-	}
-	results := make([][]Neighbor, workers)
-	var wg sync.WaitGroup
-	chunk := (ds.Len() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sub := Linear(ds.Slice(lo, hi), q, k)
-			for i := range sub {
-				sub[i].ID += lo // shard-local IDs back to global
-			}
-			results[w] = sub
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	merged := results[0]
-	for _, r := range results[1:] {
-		merged = MergeTopK(merged, r, k)
-	}
-	return merged
-}
-
 // MergeTopK merges two (Dist, ID)-sorted neighbor lists, keeping the k best.
 // This is the host-side merge the partial-reconfiguration driver performs
 // across board configurations (§III-C). A non-positive k keeps nothing.
@@ -239,56 +201,26 @@ func MergeTopK(a, b []Neighbor, k int) []Neighbor {
 	return out
 }
 
-// Batch answers many queries with query-level parallelism (§II-A): each
-// worker pulls queries from a shared feed and runs the full scan for them.
-func Batch(ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) [][]Neighbor {
-	out, _ := BatchContext(context.Background(), ds, queries, k, workers)
-	return out
+// Batch answers many queries through the blocked kernel, exploiting query-
+// and data-level parallelism by batch shape (§II-A; see ScanBatch). Unlike
+// Linear it never panics: a non-positive k returns aperr.ErrBadK from the
+// calling goroutine — the historical pass-through to Linear fired the panic
+// inside a worker goroutine, which no caller can recover and which killed
+// the whole serving process.
+func Batch(ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) ([][]Neighbor, error) {
+	return BatchContext(context.Background(), ds, queries, k, workers)
 }
 
-// BatchContext is Batch with cancellation: workers stop picking up queries
-// once ctx is canceled (a scan already underway finishes its query), and
-// the call returns an error wrapping aperr.ErrCanceled instead of a
-// partially filled result set.
+// BatchContext is Batch with cancellation: the scan stops at the next query
+// or block boundary once ctx is canceled and returns an error wrapping
+// aperr.ErrCanceled instead of a partially filled result set. workers <= 1
+// keeps the historical meaning of a serial scan (ScanConfig's auto-sizing
+// applies only through the kernel entry points).
 func BatchContext(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector, k, workers int) ([][]Neighbor, error) {
-	out := make([][]Neighbor, len(queries))
-	if workers <= 1 {
-		for i, q := range queries {
-			if err := ctx.Err(); err != nil {
-				return nil, aperr.Canceled(err)
-			}
-			out[i] = Linear(ds, q, k)
-		}
-		return out, nil
+	if workers < 1 {
+		workers = 1
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil {
-					return
-				}
-				out[i] = Linear(ds, queries[i], k)
-			}
-		}()
-	}
-feed:
-	for i := range queries {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, aperr.Canceled(err)
-	}
-	return out, nil
+	return ScanBatch(ctx, ds, queries, k, ScanConfig{Workers: workers})
 }
 
 func min(a, b int) int {

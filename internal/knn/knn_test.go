@@ -70,7 +70,8 @@ func TestVariantsMatchReference(t *testing.T) {
 		if !equalNeighbors(LinearSelect(ds, q, k), want) {
 			return false
 		}
-		if !equalNeighbors(LinearParallel(ds, q, k, 4), want) {
+		scanned, err := Scan(ds, q, k, ScanConfig{Workers: 4})
+		if err != nil || !equalNeighbors(scanned, want) {
 			return false
 		}
 		return true
@@ -154,7 +155,10 @@ func TestBatch(t *testing.T) {
 		queries[i] = bitvec.Random(rng, 64)
 	}
 	for _, workers := range []int{1, 4} {
-		got := Batch(ds, queries, 3, workers)
+		got, err := Batch(ds, queries, 3, workers)
+		if err != nil {
+			t.Fatalf("Batch(workers=%d): %v", workers, err)
+		}
 		if len(got) != len(queries) {
 			t.Fatalf("Batch returned %d result sets", len(got))
 		}

@@ -108,6 +108,23 @@ func (v deltaView) words(i int) []uint64 {
 	return v.chunks[chunk][off*v.wordsPV : (off+1)*v.wordsPV]
 }
 
+// chunkCount returns the number of chunks holding visible entries.
+func (v deltaView) chunkCount() int {
+	return (v.n + deltaChunkVecs - 1) / deltaChunkVecs
+}
+
+// chunkWords returns chunk c's packed words trimmed to visible entries plus
+// the number of vectors it holds — one contiguous block for the scan kernel.
+// Chunk storage below the snapshot length is immutable, so the slab is
+// stable no matter how many appends land after the snapshot.
+func (v deltaView) chunkWords(c int) ([]uint64, int) {
+	n := v.n - c*deltaChunkVecs
+	if n > deltaChunkVecs {
+		n = deltaChunkVecs
+	}
+	return v.chunks[c][:n*v.wordsPV], n
+}
+
 // vector returns a copy of entry i — copy-on-read, so callers can hold it
 // across compactions without aliasing the store.
 func (v deltaView) vector(i int) bitvec.Vector {

@@ -3,7 +3,7 @@ package live
 import (
 	"context"
 	"fmt"
-	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -336,27 +336,79 @@ func (x *Index) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][
 	return results, nil
 }
 
-// scanDelta is the exact XOR+POPCOUNT scan of one query over the visible,
-// non-tombstoned delta entries of a snapshot.
+// scanDelta is the exact Hamming scan of one query over the visible,
+// non-tombstoned delta entries of a snapshot, through the same blocked
+// XOR+POPCNT kernel the CPU backend runs: each delta chunk is one contiguous
+// block streamed into a bounded top-k heap (knn.ScanBlock), with the
+// tombstone filter applied only when tombstones exist. Deltas past
+// parallelDeltaVecs — possible when compaction is disabled or far behind —
+// shard their chunks across cores and merge per-core partials, the same
+// data-parallel decomposition as the base kernel.
 func (v *view) scanDelta(q bitvec.Vector, k int) []knn.Neighbor {
 	qw := q.Words()
-	found := make([]knn.Neighbor, 0, v.delta.Len())
-	for i := 0; i < v.delta.Len(); i++ {
-		gid := v.delta.FirstID() + i
-		if _, dead := v.tomb[gid]; dead {
+	var skip func(id int) bool
+	if len(v.tomb) > 0 {
+		skip = func(id int) bool {
+			_, dead := v.tomb[id]
+			return dead
+		}
+	}
+	chunks := v.delta.chunkCount()
+	if v.delta.Len() < parallelDeltaVecs {
+		t := knn.NewTopK(k)
+		for c := 0; c < chunks; c++ {
+			slab, n := v.delta.chunkWords(c)
+			v.scanChunk(t, slab, qw, c, n, skip)
+		}
+		return t.Neighbors()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	partials := make([][]knn.Neighbor, workers)
+	per := (chunks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > chunks {
+			hi = chunks
+		}
+		if lo >= hi {
 			continue
 		}
-		d := 0
-		for wi, w := range v.delta.words(i) {
-			d += bits.OnesCount64(w ^ qw[wi])
-		}
-		found = append(found, knn.Neighbor{ID: gid, Dist: d})
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t := knn.NewTopK(k)
+			for c := lo; c < hi; c++ {
+				slab, n := v.delta.chunkWords(c)
+				v.scanChunk(t, slab, qw, c, n, skip)
+			}
+			partials[w] = t.Neighbors()
+		}(w, lo, hi)
 	}
-	knn.SortNeighbors(found)
-	if len(found) > k {
-		found = found[:k]
+	wg.Wait()
+	var merged []knn.Neighbor
+	for _, p := range partials {
+		merged = knn.MergeTopK(merged, p, k)
 	}
-	return found
+	return merged
+}
+
+// parallelDeltaVecs is the delta size past which scanDelta shards chunks
+// across cores; below it a single core wins (the steady-state delta stays
+// under the compaction threshold, well below this).
+const parallelDeltaVecs = 1 << 15
+
+// scanChunk streams delta chunk c into t.
+func (v *view) scanChunk(t *knn.TopK, slab []uint64, qw []uint64, c, n int, skip func(id int) bool) {
+	base := v.delta.FirstID() + c*deltaChunkVecs
+	if skip == nil {
+		knn.ScanBlock(t, slab, v.delta.wordsPV, qw, base, n)
+	} else {
+		knn.ScanBlockFiltered(t, slab, v.delta.wordsPV, qw, base, n, skip)
+	}
 }
 
 // Compact synchronously folds the current delta segment and tombstone set

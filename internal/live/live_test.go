@@ -484,3 +484,114 @@ func TestLiveStaleTimerCompaction(t *testing.T) {
 	}
 	t.Fatal("staleness timer never compacted")
 }
+
+// TestLiveKernelSearchDuringCompaction pins the blocked kernel's delta scan
+// (chunked ScanBlock over snapshot slabs, tombstone-filtered) against the RCU
+// view swap: searchers run flat out while a compactor loop folds the delta
+// into fresh base compilations and a writer keeps refilling it. Every
+// returned neighbor is re-verified by recomputing its Hamming distance from
+// the recorded vector — IDs are never reused, so a torn read of a moved or
+// recycled slab would surface as a distance mismatch under -race.
+func TestLiveKernelSearchDuringCompaction(t *testing.T) {
+	const dim, n0 = 128, 512
+	rng := stats.NewRNG(21)
+	ds := bitvec.RandomDataset(rng, n0, dim)
+	idx, err := New(ds, compileCPU(t), Options{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ctx := context.Background()
+
+	// vecs records every vector the index has ever held, by global ID.
+	var vecs sync.Map
+	for i := 0; i < n0; i++ {
+		vecs.Store(i, ds.At(i).Clone())
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: keep the delta segment non-empty so each compaction has work
+	// and searches always cross the base/delta merge.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := stats.NewRNG(1000)
+		for i := 0; !stop.Load(); i++ {
+			v := bitvec.Random(r, dim)
+			id, err := idx.Insert(ctx, v)
+			if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			vecs.Store(id, v)
+			if i%4 == 0 {
+				if err := idx.Delete(ctx, id); err != nil {
+					t.Errorf("delete %d: %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Compactor: fold the churn repeatedly so view swaps overlap searches.
+	// Compact is a no-op on a clean index, so guarantee each round has at
+	// least one delta entry to fold.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := stats.NewRNG(3000)
+		for i := 0; i < 20; i++ {
+			v := bitvec.Random(r, dim)
+			id, err := idx.Insert(ctx, v)
+			if err != nil {
+				t.Errorf("compactor insert: %v", err)
+				return
+			}
+			vecs.Store(id, v)
+			if err := idx.Compact(ctx); err != nil {
+				t.Errorf("compact %d: %v", i, err)
+				return
+			}
+		}
+		stop.Store(true)
+	}()
+
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(2000 + s))
+			for !stop.Load() {
+				q := bitvec.Random(r, dim)
+				res, err := idx.Search(ctx, []bitvec.Vector{q}, 10)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				prev := knn.Neighbor{ID: -1, Dist: -1}
+				for _, nb := range res[0] {
+					if !prev.Less(nb) {
+						t.Errorf("unsorted result %v after %v", nb, prev)
+						return
+					}
+					prev = nb
+					v, ok := vecs.Load(nb.ID)
+					if !ok {
+						t.Errorf("result ID %d was never inserted", nb.ID)
+						return
+					}
+					if want := v.(bitvec.Vector).Hamming(q); nb.Dist != want {
+						t.Errorf("ID %d dist %d, want %d (torn read?)", nb.ID, nb.Dist, want)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if idx.Stats().Compactions < 20 {
+		t.Fatalf("compactions %d, want >= 20", idx.Stats().Compactions)
+	}
+}
