@@ -107,6 +107,17 @@ type Config struct {
 	// churn is compacted at least this often (0 disables the timer).
 	// Backends ignore it.
 	CompactInterval time.Duration
+	// DataDir, when set via WithDurability, roots a live index's durable
+	// state: a write-ahead log of every mutation plus a snapshot per
+	// compaction, recovered on the next OpenLive. Backends and Open ignore
+	// it.
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage on a durable live
+	// index (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval policy
+	// (0 = 100ms).
+	FsyncInterval time.Duration
 }
 
 // Option configures Open.
@@ -146,6 +157,27 @@ func WithCompactThreshold(n int) Option { return func(c *Config) { c.CompactThre
 // WithCompactInterval sets the live index's max-staleness compaction timer
 // (OpenLive). Zero disables the timer.
 func WithCompactInterval(d time.Duration) Option { return func(c *Config) { c.CompactInterval = d } }
+
+// DurabilityOptions tunes the write-ahead log of a durable live index.
+type DurabilityOptions struct {
+	// Fsync selects when appends reach stable storage (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval (0 = 100ms).
+	FsyncInterval time.Duration
+}
+
+// WithDurability roots a live index (OpenLive) at dir: every acknowledged
+// Insert/Delete is write-ahead logged before it becomes searchable, each
+// compaction persists a snapshot and truncates the log, and the next
+// OpenLive over the same directory recovers the exact pre-crash index —
+// identical global IDs, byte-identical search results. Open ignores it.
+func WithDurability(dir string, opts DurabilityOptions) Option {
+	return func(c *Config) {
+		c.DataDir = dir
+		c.Fsync = opts.Fsync
+		c.FsyncInterval = opts.FsyncInterval
+	}
+}
 
 // Index is a compiled dataset ready to serve queries on one backend. All
 // implementations are safe for concurrent use.

@@ -67,6 +67,16 @@ type benchRecord struct {
 	// to the Linear oracle (hotpath cells always verify; a false here
 	// aborts the run, so persisted rows are always true).
 	OracleMatch *bool `json:"oracle_match,omitempty"`
+	// AppendNSPerOp is the host cost of one write-ahead-logged insert
+	// under fsync=never (churn durability cells).
+	AppendNSPerOp *float64 `json:"append_ns_per_op,omitempty"`
+	// FsyncNSPerOp is the fsync=always premium on top of AppendNSPerOp.
+	FsyncNSPerOp *float64 `json:"fsync_ns_per_op,omitempty"`
+	// ReplayMBPerSec is the recovery log-replay rate at reopen.
+	ReplayMBPerSec *float64 `json:"replay_mb_per_sec,omitempty"`
+	// RecoveryNS is the total close-to-serving reopen time: snapshot load,
+	// replay, base compile.
+	RecoveryNS *int64 `json:"recovery_ns,omitempty"`
 }
 
 func fptr(v float64) *float64 { return &v }
@@ -630,6 +640,135 @@ func churnExperiment() {
 	fmt.Println("modeled QPS = queries / modeled platform time. Inserts land in the exactly-scanned")
 	fmt.Println("delta segment; each compaction recompiles the base and charges one reconfiguration")
 	fmt.Println("sweep — churn degrades throughput smoothly instead of paying a sweep per insert.")
+	fmt.Println()
+	churnDurability()
+}
+
+// churnDurability measures what the write-ahead log costs the churn path
+// and what recovery costs at boot, as a function of log length: host
+// nanoseconds per logged insert (append alone, and the fsync premium of
+// the always policy on top of it), then the close/reopen replay rate and
+// total recovery time over the same directory.
+func churnDurability() {
+	const (
+		n0, dim = 1 << 12, 64
+		fsyncN  = 256
+	)
+	lengths := []int{1 << 10, 1 << 12, 1 << 14}
+	if quick {
+		lengths = []int{256, 1024}
+	}
+	ctx := context.Background()
+
+	tb := report.NewTable(
+		fmt.Sprintf("Durability: WAL append / fsync cost and recovery vs log length (n0=%d, d=%d, fsync premium over %d synced appends)",
+			n0, dim, fsyncN),
+		"log records", "wal bytes", "append ns/op", "fsync ns/op", "replay MB/s", "recovery")
+	for _, records := range lengths {
+		ds := apknn.RandomDataset(909, n0, dim)
+		rng := stats.NewRNG(917)
+		dir, err := os.MkdirTemp("", "apbench-wal-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		idx, err := apknn.OpenLive(ds,
+			apknn.WithBackend(apknn.Fast),
+			apknn.WithCompactThreshold(-1), // keep every record in the log
+			apknn.WithDurability(dir, apknn.DurabilityOptions{Fsync: apknn.FsyncNever}))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		vecs := make([]apknn.Vector, records)
+		for i := range vecs {
+			vecs[i] = bitvec.Random(rng, dim)
+		}
+		start := time.Now()
+		for _, v := range vecs {
+			if _, err := idx.Insert(ctx, v); err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				os.Exit(1)
+			}
+		}
+		appendNS := float64(time.Since(start)) / float64(records)
+		var walBytes int64
+		if d := idx.Stats().Durability; d != nil {
+			walBytes = d.WALSize
+		}
+		if err := idx.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+
+		// The fsync premium: the same appends under the always policy pay
+		// one fsync each; the difference is the sync, not the write.
+		fdir, err := os.MkdirTemp("", "apbench-fsync-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(fdir)
+		fidx, err := apknn.OpenLive(ds,
+			apknn.WithBackend(apknn.Fast),
+			apknn.WithCompactThreshold(-1),
+			apknn.WithDurability(fdir, apknn.DurabilityOptions{Fsync: apknn.FsyncAlways}))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		start = time.Now()
+		for i := 0; i < fsyncN; i++ {
+			if _, err := fidx.Insert(ctx, vecs[i%len(vecs)]); err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				os.Exit(1)
+			}
+		}
+		fsyncNS := float64(time.Since(start))/fsyncN - appendNS
+		if fsyncNS < 0 {
+			fsyncNS = 0
+		}
+		fidx.Close()
+
+		// Recovery: reopen the long log's directory and time the replay.
+		start = time.Now()
+		back, err := apknn.OpenLive(nil,
+			apknn.WithBackend(apknn.Fast),
+			apknn.WithCompactThreshold(-1),
+			apknn.WithDurability(dir, apknn.DurabilityOptions{Fsync: apknn.FsyncNever}))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		recovery := time.Since(start)
+		rec, _ := back.Recovery()
+		if !rec.Recovered || back.Len() != n0+records {
+			fmt.Fprintf(os.Stderr, "apbench: recovery dropped records: %+v, len %d\n", rec, back.Len())
+			os.Exit(1)
+		}
+		replayMBs := float64(rec.ReplayedBytes) / (1 << 20) / recovery.Seconds()
+		back.Close()
+
+		tb.Row(records, walBytes,
+			fmt.Sprintf("%.0f", appendNS), fmt.Sprintf("%.0f", fsyncNS),
+			fmt.Sprintf("%.1f", replayMBs), recovery.Round(10*time.Microsecond))
+		record(benchRecord{
+			Experiment: "churn",
+			Params: map[string]interface{}{
+				"sweep": "durability", "records": records,
+				"n0": n0, "dim": dim, "wal_bytes": walBytes,
+			},
+			AppendNSPerOp:  fptr(appendNS),
+			FsyncNSPerOp:   fptr(fsyncNS),
+			ReplayMBPerSec: fptr(replayMBs),
+			RecoveryNS:     iptr(int64(recovery)),
+		})
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("append ns/op logs under fsync=never (the write alone); fsync ns/op is the always-")
+	fmt.Println("policy premium per acked insert. Recovery reopens the directory: snapshot load,")
+	fmt.Println("log replay at the shown rate, then one base compile — the boot cost a crash buys.")
 }
 
 type churnCell struct {

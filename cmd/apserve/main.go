@@ -13,7 +13,16 @@
 // immediately through a delta segment and tombstone set, and a background
 // compactor folds the churn into a fresh base compilation once it passes
 // -compact-threshold or -compact-interval. -load/-save persist the dataset
-// in the binary format instead of synthesizing a new one per boot.
+// in the binary format instead of synthesizing a new one per boot; with
+// -live the shutdown save captures the merged live view (base plus delta
+// minus tombstones), not the stale boot dataset.
+//
+// -data-dir makes a live index durable: every acknowledged mutation is
+// write-ahead logged there (-fsync selects the sync policy), compactions
+// persist snapshots and truncate the log, and a reboot over the same
+// directory recovers the exact pre-crash index — same global IDs, identical
+// results. The seed flags (-n/-dim/-seed/-load) only matter on the first
+// boot; afterwards the directory is authoritative.
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
 // and queued micro-batches finish, then the process exits.
@@ -52,6 +61,9 @@ func main() {
 	liveMode := flag.Bool("live", false, "serve a mutable index: enable /v1/insert and /v1/delete with background compaction")
 	compactThreshold := flag.Int("compact-threshold", 0, "with -live: churn volume (delta inserts + tombstones) that triggers compaction (0 = default 1024, negative disables)")
 	compactInterval := flag.Duration("compact-interval", 30*time.Second, "with -live: max staleness before pending churn is compacted (0 disables the timer)")
+	dataDir := flag.String("data-dir", "", "with -live: durable state directory (write-ahead log + snapshots, recovered at boot)")
+	fsync := flag.String("fsync", "always", "with -data-dir: WAL sync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "with -fsync interval: flush period (0 = 100ms)")
 	maxBatch := flag.Int("batch", 32, "micro-batch size cap (flush when this many queries are pending)")
 	window := flag.Duration("batch-window", serve.DefaultBatchWindow,
 		"micro-batch flush deadline; 0 disables coalescing")
@@ -76,7 +88,7 @@ func main() {
 		log.Printf("apserve: building %d x %d-bit dataset (seed %d)", *n, *dim, *seed)
 		ds = apknn.RandomDataset(*seed, *n, *dim)
 	}
-	if *save != "" {
+	if *save != "" && !*liveMode {
 		if err := apknn.SaveDataset(ds, *save); err != nil {
 			log.Fatal("apserve: ", err)
 		}
@@ -93,15 +105,44 @@ func main() {
 	var liveIdx *apknn.LiveIndex
 	var err error
 	if *liveMode {
-		liveIdx, err = apknn.OpenLive(ds, append(opts,
+		liveOpts := append(opts,
 			apknn.WithCompactThreshold(*compactThreshold),
-			apknn.WithCompactInterval(*compactInterval))...)
+			apknn.WithCompactInterval(*compactInterval))
+		if *dataDir != "" {
+			policy, perr := apknn.ParseFsyncPolicy(*fsync)
+			if perr != nil {
+				log.Fatal("apserve: ", perr)
+			}
+			liveOpts = append(liveOpts, apknn.WithDurability(*dataDir, apknn.DurabilityOptions{
+				Fsync:         policy,
+				FsyncInterval: *fsyncInterval,
+			}))
+		}
+		liveIdx, err = apknn.OpenLive(ds, liveOpts...)
 		idx = liveIdx
 	} else {
+		if *dataDir != "" {
+			log.Fatal("apserve: -data-dir requires -live")
+		}
 		idx, err = apknn.Open(ds, opts...)
 	}
 	if err != nil {
 		log.Fatal("apserve: ", err)
+	}
+	if liveIdx != nil {
+		if rec, ok := liveIdx.Recovery(); ok {
+			if rec.Recovered {
+				torn := ""
+				if rec.Torn {
+					torn = ", torn tail truncated"
+				}
+				log.Printf("apserve: recovered generation %d from %s: %d snapshot vectors + %d replayed records (%d bytes%s), %d live, next ID %d",
+					rec.Generation, *dataDir, rec.SnapshotVectors, rec.ReplayedRecords,
+					rec.ReplayedBytes, torn, liveIdx.Len(), liveIdx.NextID())
+			} else {
+				log.Printf("apserve: seeded durable state at %s (fsync %s)", *dataDir, *fsync)
+			}
+		}
 	}
 	st := idx.Stats()
 	mode := "static"
@@ -123,6 +164,10 @@ func main() {
 	if id == "" {
 		id = ln.Addr().String()
 	}
+	vectors := ds.Len()
+	if liveIdx != nil {
+		vectors = liveIdx.Len() // recovery may have diverged from the seed
+	}
 	srv := serve.New(idx, serve.Config{
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
@@ -131,7 +176,7 @@ func main() {
 		Dim:         ds.Dim(),
 		NodeID:      id,
 		Addr:        ln.Addr().String(),
-		Vectors:     ds.Len(),
+		Vectors:     vectors,
 	})
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
@@ -162,6 +207,15 @@ func main() {
 	if liveIdx != nil {
 		if err := liveIdx.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "apserve: live close:", err)
+		}
+		if *save != "" {
+			// The merged live view — base plus delta minus tombstones — so
+			// the saved file matches what the index was actually serving.
+			if err := liveIdx.SaveDataset(*save); err != nil {
+				fmt.Fprintln(os.Stderr, "apserve: save:", err)
+			} else {
+				log.Printf("apserve: saved %d-vector live view to %s", liveIdx.Len(), *save)
+			}
 		}
 		if ls := liveIdx.Stats().Live; ls != nil {
 			log.Printf("apserve: live index saw %d inserts, %d deletes, %d compaction(s)",

@@ -22,4 +22,14 @@ var (
 	// ErrNotFound reports a Delete naming an ID the live index does not
 	// hold — never assigned, or already deleted.
 	ErrNotFound = aperr.ErrNotFound
+	// ErrBadFormat reports a persisted file (dataset, snapshot, write-ahead
+	// log) whose header or structure is not the expected format: wrong magic,
+	// unsupported version, impossible geometry, non-canonical payload bits.
+	ErrBadFormat = aperr.ErrBadFormat
+	// ErrTruncated reports a persisted file that ends before its declared
+	// payload does — a short read, never a silent partial parse.
+	ErrTruncated = aperr.ErrTruncated
+	// ErrClosed reports a mutation on a durable live index after Close
+	// released its write-ahead-log handle.
+	ErrClosed = aperr.ErrClosed
 )

@@ -26,6 +26,16 @@ var (
 	// ErrNotFound reports a mutation naming an ID the index does not hold —
 	// never assigned, or already deleted.
 	ErrNotFound = errors.New("id not found")
+	// ErrBadFormat reports a persisted file (dataset, snapshot, or WAL) whose
+	// header or structure is not the expected format: wrong magic, unsupported
+	// version, impossible geometry, or non-canonical payload bits.
+	ErrBadFormat = errors.New("bad file format")
+	// ErrTruncated reports a persisted file that ends before its declared
+	// payload does — a short read, never a silent partial parse.
+	ErrTruncated = errors.New("truncated file")
+	// ErrClosed reports an operation on an index after Close released its
+	// durable handles.
+	ErrClosed = errors.New("index closed")
 )
 
 // Canceled wraps ErrCanceled with the context's cause so errors.Is matches

@@ -3,10 +3,13 @@ package bitvec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+
+	"repro/internal/aperr"
 )
 
 // Binary dataset format: a fixed little-endian header followed by the packed
@@ -57,45 +60,44 @@ func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
+// truncated maps a short read onto the typed aperr.ErrTruncated sentinel,
+// passing genuine I/O failures through unchanged.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return aperr.ErrTruncated
+	}
+	return err
+}
+
 // ReadDataset parses a dataset serialized by WriteTo, validating the magic,
-// version and geometry before allocating the payload.
+// version and geometry before allocating the payload. Failures carry the
+// typed sentinels: a file that ends early wraps aperr.ErrTruncated, a wrong
+// magic, version, impossible geometry or non-canonical tail bits wrap
+// aperr.ErrBadFormat — never a panic, never a silent short read.
 func ReadDataset(r io.Reader) (*Dataset, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("bitvec: read dataset header: %w", err)
+		return nil, fmt.Errorf("bitvec: read dataset header: %w", truncated(err))
 	}
 	if string(hdr[0:4]) != DatasetMagic {
-		return nil, fmt.Errorf("bitvec: bad dataset magic %q (want %q)", hdr[0:4], DatasetMagic)
+		return nil, fmt.Errorf("bitvec: bad dataset magic %q (want %q): %w", hdr[0:4], DatasetMagic, aperr.ErrBadFormat)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != datasetVersion {
-		return nil, fmt.Errorf("bitvec: unsupported dataset format version %d (want %d)", v, datasetVersion)
+		return nil, fmt.Errorf("bitvec: unsupported dataset format version %d (want %d): %w", v, datasetVersion, aperr.ErrBadFormat)
 	}
 	dim := binary.LittleEndian.Uint32(hdr[8:12])
 	count := binary.LittleEndian.Uint64(hdr[12:20])
 	if dim == 0 || dim > 1<<20 {
-		return nil, fmt.Errorf("bitvec: dataset dim %d out of range", dim)
+		return nil, fmt.Errorf("bitvec: dataset dim %d out of range: %w", dim, aperr.ErrBadFormat)
 	}
 	wordsPV := uint64(WordsFor(int(dim)))
 	if count > math.MaxInt64/(8*wordsPV) {
-		return nil, fmt.Errorf("bitvec: dataset count %d overflows", count)
+		return nil, fmt.Errorf("bitvec: dataset count %d overflows: %w", count, aperr.ErrBadFormat)
 	}
 	ds := NewDataset(int(dim))
 	ds.n = int(count)
-	// The payload is read in bounded chunks so a corrupt or hostile header
-	// claiming petabytes fails with a clean truncation error as soon as the
-	// actual bytes run out, instead of a giant up-front allocation.
-	const chunkWords = 1 << 16
-	total := int(count * wordsPV)
-	buf := make([]byte, 8*min(chunkWords, total))
-	for read := 0; read < total; {
-		n := min(chunkWords, total-read)
-		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
-			return nil, fmt.Errorf("bitvec: read dataset words: %w", err)
-		}
-		for i := 0; i < n; i++ {
-			ds.words = append(ds.words, binary.LittleEndian.Uint64(buf[8*i:]))
-		}
-		read += n
+	if err := readWords(r, &ds.words, int(count*wordsPV)); err != nil {
+		return nil, fmt.Errorf("bitvec: read dataset words: %w", err)
 	}
 	// Tails beyond dim must be zero (canonical form); reject corrupt files
 	// rather than search garbage bits.
@@ -103,11 +105,31 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 		mask := ^uint64(0) << tail
 		for i := int(wordsPV) - 1; i < len(ds.words); i += int(wordsPV) {
 			if ds.words[i]&mask != 0 {
-				return nil, fmt.Errorf("bitvec: vector %d has bits beyond dim %d", i/int(wordsPV), dim)
+				return nil, fmt.Errorf("bitvec: vector %d has bits beyond dim %d: %w", i/int(wordsPV), dim, aperr.ErrBadFormat)
 			}
 		}
 	}
 	return ds, nil
+}
+
+// readWords appends total little-endian uint64s from r into dst in bounded
+// chunks, so a corrupt or hostile header claiming petabytes fails with a
+// clean aperr.ErrTruncated as soon as the actual bytes run out, instead of
+// a giant up-front allocation.
+func readWords(r io.Reader, dst *[]uint64, total int) error {
+	const chunkWords = 1 << 16
+	buf := make([]byte, 8*min(chunkWords, total))
+	for read := 0; read < total; {
+		n := min(chunkWords, total-read)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return truncated(err)
+		}
+		for i := 0; i < n; i++ {
+			*dst = append(*dst, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		read += n
+	}
+	return nil
 }
 
 // SaveFile writes the dataset to path in the binary format.

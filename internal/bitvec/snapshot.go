@@ -1,0 +1,236 @@
+package bitvec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/aperr"
+)
+
+// Snapshot format: version 2 of the APDS container. It extends the plain
+// dataset format with a manifest so a snapshot plus a write-ahead-log suffix
+// reconstructs the exact live view of a mutable index — identical global
+// IDs, identical tie-breaks, identical NextID watermark.
+//
+//	offset  size  field
+//	0       4     magic "APDS"
+//	4       4     format version (2 for snapshots)
+//	8       4     dim — bits per vector
+//	12      8     n — vector count
+//	20      8     generation — the base compilation this snapshot captures
+//	28      8     NextID — the global-ID watermark at the snapshot cut
+//	36      1     ids flag: 0 = identity (vector i has global ID i),
+//	              1 = explicit ascending ID list follows
+//	37      ...   [flag=1] n uint64 global IDs, strictly ascending
+//	...     8     tombstone count
+//	...     ...   tombstone global IDs, strictly ascending
+//	...     ...   n * WordsFor(dim) uint64 words (same payload as version 1)
+//
+// Version 1 files (WriteTo/ReadDataset) remain the interchange format for
+// plain datasets; version 2 is what the durability layer persists.
+
+// snapshotVersion is the APDS container version carrying a manifest.
+const snapshotVersion = 2
+
+// Manifest is the recovery metadata of one snapshot.
+type Manifest struct {
+	// Generation numbers the base compilation the snapshot captures.
+	Generation int64
+	// NextID is the global-ID watermark: the ID the next insert would have
+	// been assigned at the snapshot cut. Replay advances it.
+	NextID int
+	// IDs maps vector position to global ID, strictly ascending. Nil means
+	// identity — position i holds global ID i.
+	IDs []int
+	// Tombstones are global IDs deleted but not folded out of the payload,
+	// strictly ascending. Snapshots written at a compaction cut fold every
+	// tombstone into the survivor set, so this is normally empty; the format
+	// carries it so any consistent view can be persisted.
+	Tombstones []int
+}
+
+// WriteSnapshot serializes ds plus its manifest in APDS version 2. The
+// manifest's IDs, when present, must be one strictly ascending global ID per
+// vector, all below NextID.
+func WriteSnapshot(w io.Writer, ds *Dataset, m *Manifest) (int64, error) {
+	if m.IDs != nil && len(m.IDs) != ds.Len() {
+		return 0, fmt.Errorf("bitvec: snapshot has %d ids for %d vectors: %w", len(m.IDs), ds.Len(), aperr.ErrBadFormat)
+	}
+	var buf []byte
+	buf = append(buf, DatasetMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ds.dim))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ds.n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Generation))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.NextID))
+	if m.IDs == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, id := range m.IDs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(m.Tombstones)))
+	for _, id := range m.Tombstones {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	n, err := w.Write(buf)
+	written := int64(n)
+	if err != nil {
+		return written, fmt.Errorf("bitvec: write snapshot manifest: %w", err)
+	}
+	payload := make([]byte, 8*len(ds.words))
+	for i, word := range ds.words {
+		binary.LittleEndian.PutUint64(payload[8*i:], word)
+	}
+	n, err = w.Write(payload)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("bitvec: write snapshot words: %w", err)
+	}
+	return written, nil
+}
+
+// ReadSnapshot parses an APDS version 2 snapshot, validating the header,
+// manifest and payload geometry. Failures carry the typed sentinels
+// (aperr.ErrBadFormat, aperr.ErrTruncated) like ReadDataset.
+func ReadSnapshot(r io.Reader) (*Dataset, *Manifest, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("bitvec: read snapshot header: %w", truncated(err))
+	}
+	if string(hdr[0:4]) != DatasetMagic {
+		return nil, nil, fmt.Errorf("bitvec: bad snapshot magic %q (want %q): %w", hdr[0:4], DatasetMagic, aperr.ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVersion {
+		return nil, nil, fmt.Errorf("bitvec: unsupported snapshot version %d (want %d): %w", v, snapshotVersion, aperr.ErrBadFormat)
+	}
+	dim := binary.LittleEndian.Uint32(hdr[8:12])
+	count := binary.LittleEndian.Uint64(hdr[12:20])
+	if dim == 0 || dim > 1<<20 {
+		return nil, nil, fmt.Errorf("bitvec: snapshot dim %d out of range: %w", dim, aperr.ErrBadFormat)
+	}
+	wordsPV := uint64(WordsFor(int(dim)))
+	if count > math.MaxInt64/(8*wordsPV) {
+		return nil, nil, fmt.Errorf("bitvec: snapshot count %d overflows: %w", count, aperr.ErrBadFormat)
+	}
+	var mhdr [17]byte
+	if _, err := io.ReadFull(r, mhdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("bitvec: read snapshot manifest: %w", truncated(err))
+	}
+	m := &Manifest{
+		Generation: int64(binary.LittleEndian.Uint64(mhdr[0:8])),
+		NextID:     int(binary.LittleEndian.Uint64(mhdr[8:16])),
+	}
+	if m.Generation < 0 || m.NextID < 0 || uint64(m.NextID) < count {
+		return nil, nil, fmt.Errorf("bitvec: snapshot watermark %d below %d vectors: %w", m.NextID, count, aperr.ErrBadFormat)
+	}
+	switch mhdr[16] {
+	case 0:
+	case 1:
+		ids, err := readIDList(r, int(count), m.NextID, "id")
+		if err != nil {
+			return nil, nil, err
+		}
+		m.IDs = ids
+	default:
+		return nil, nil, fmt.Errorf("bitvec: snapshot ids flag %d: %w", mhdr[16], aperr.ErrBadFormat)
+	}
+	var tc [8]byte
+	if _, err := io.ReadFull(r, tc[:]); err != nil {
+		return nil, nil, fmt.Errorf("bitvec: read snapshot tombstone count: %w", truncated(err))
+	}
+	tombCount := binary.LittleEndian.Uint64(tc[:])
+	if tombCount > uint64(m.NextID) {
+		return nil, nil, fmt.Errorf("bitvec: %d tombstones exceed watermark %d: %w", tombCount, m.NextID, aperr.ErrBadFormat)
+	}
+	if tombCount > 0 {
+		tombs, err := readIDList(r, int(tombCount), m.NextID, "tombstone")
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Tombstones = tombs
+	}
+	ds := NewDataset(int(dim))
+	ds.n = int(count)
+	if err := readWords(r, &ds.words, int(count*wordsPV)); err != nil {
+		return nil, nil, fmt.Errorf("bitvec: read snapshot words: %w", err)
+	}
+	if tail := uint(dim) & 63; tail != 0 {
+		mask := ^uint64(0) << tail
+		for i := int(wordsPV) - 1; i < len(ds.words); i += int(wordsPV) {
+			if ds.words[i]&mask != 0 {
+				return nil, nil, fmt.Errorf("bitvec: snapshot vector %d has bits beyond dim %d: %w", i/int(wordsPV), dim, aperr.ErrBadFormat)
+			}
+		}
+	}
+	return ds, m, nil
+}
+
+// readIDList reads n strictly ascending uint64 IDs below limit, in bounded
+// chunks so a hostile count fails on byte exhaustion rather than OOM.
+func readIDList(r io.Reader, n, limit int, what string) ([]int, error) {
+	const chunk = 1 << 14
+	ids := make([]int, 0, min(chunk, n))
+	buf := make([]byte, 8*min(chunk, n))
+	prev := -1
+	for read := 0; read < n; {
+		c := min(chunk, n-read)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, fmt.Errorf("bitvec: read snapshot %s list: %w", what, truncated(err))
+		}
+		for i := 0; i < c; i++ {
+			id := binary.LittleEndian.Uint64(buf[8*i:])
+			if id >= uint64(limit) || int(id) <= prev {
+				return nil, fmt.Errorf("bitvec: snapshot %s %d out of order or beyond watermark %d: %w", what, id, limit, aperr.ErrBadFormat)
+			}
+			prev = int(id)
+			ids = append(ids, int(id))
+		}
+		read += c
+	}
+	return ids, nil
+}
+
+// SaveSnapshotFile writes the snapshot atomically: to path.tmp, fsynced,
+// then renamed over path with the directory synced — a crash leaves either
+// the old snapshot or the new one, never a torn file under the real name.
+func SaveSnapshotFile(path string, ds *Dataset, m *Manifest) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := WriteSnapshot(w, ds, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile reads a snapshot written by SaveSnapshotFile.
+func LoadSnapshotFile(path string) (*Dataset, *Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(bufio.NewReader(f))
+}

@@ -1,0 +1,217 @@
+package bitvec_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func snapshotBytes(t *testing.T, ds *bitvec.Dataset, m *bitvec.Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := bitvec.WriteSnapshot(&buf, ds, m); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    bitvec.Manifest
+	}{
+		{"identity", bitvec.Manifest{Generation: 3, NextID: 40}},
+		{"explicitIDs", bitvec.Manifest{Generation: 7, NextID: 100, IDs: nil}},
+		{"tombstones", bitvec.Manifest{Generation: 1, NextID: 64, Tombstones: []int{2, 17, 63}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := bitvec.RandomDataset(stats.NewRNG(5), 40, 70)
+			m := tc.m
+			if tc.name == "explicitIDs" {
+				ids := make([]int, ds.Len())
+				for i := range ids {
+					ids[i] = 2*i + 1 // ascending, sparse, all < NextID
+				}
+				m.IDs = ids
+			}
+			data := snapshotBytes(t, ds, &m)
+			got, gm, err := bitvec.ReadSnapshot(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("ReadSnapshot: %v", err)
+			}
+			if got.Len() != ds.Len() || got.Dim() != ds.Dim() {
+				t.Fatalf("geometry %dx%d, want %dx%d", got.Len(), got.Dim(), ds.Len(), ds.Dim())
+			}
+			for i := 0; i < ds.Len(); i++ {
+				if !got.At(i).Equal(ds.At(i)) {
+					t.Fatalf("vector %d differs after round trip", i)
+				}
+			}
+			if gm.Generation != m.Generation || gm.NextID != m.NextID {
+				t.Fatalf("manifest (%d,%d), want (%d,%d)", gm.Generation, gm.NextID, m.Generation, m.NextID)
+			}
+			if len(gm.IDs) != len(m.IDs) {
+				t.Fatalf("got %d ids, want %d", len(gm.IDs), len(m.IDs))
+			}
+			for i, id := range m.IDs {
+				if gm.IDs[i] != id {
+					t.Fatalf("id[%d] = %d, want %d", i, gm.IDs[i], id)
+				}
+			}
+			if len(gm.Tombstones) != len(m.Tombstones) {
+				t.Fatalf("got %d tombstones, want %d", len(gm.Tombstones), len(m.Tombstones))
+			}
+			for i, id := range m.Tombstones {
+				if gm.Tombstones[i] != id {
+					t.Fatalf("tombstone[%d] = %d, want %d", i, gm.Tombstones[i], id)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	ds := bitvec.RandomDataset(stats.NewRNG(9), 33, 64)
+	m := &bitvec.Manifest{Generation: 2, NextID: 50, IDs: nil}
+	path := filepath.Join(t.TempDir(), "snap.apds")
+	if err := bitvec.SaveSnapshotFile(path, ds, m); err != nil {
+		t.Fatalf("SaveSnapshotFile: %v", err)
+	}
+	got, gm, err := bitvec.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	if got.Len() != ds.Len() || gm.NextID != 50 || gm.Generation != 2 {
+		t.Fatalf("recovered %d vectors, manifest (%d,%d)", got.Len(), gm.Generation, gm.NextID)
+	}
+}
+
+// TestSnapshotErrors walks the corruption taxonomy: every malformed input
+// must surface the matching typed sentinel, never a panic or short read.
+func TestSnapshotErrors(t *testing.T) {
+	ds := bitvec.RandomDataset(stats.NewRNG(4), 12, 70)
+	good := snapshotBytes(t, ds, &bitvec.Manifest{Generation: 1, NextID: 20, Tombstones: []int{3, 9}})
+
+	mutate := func(f func([]byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, aperr.ErrTruncated},
+		{"truncatedHeader", good[:10], aperr.ErrTruncated},
+		{"truncatedManifest", good[:25], aperr.ErrTruncated},
+		{"truncatedPayload", good[:len(good)-5], aperr.ErrTruncated},
+		{"badMagic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), aperr.ErrBadFormat},
+		{"datasetVersion", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 1)
+			return b
+		}), aperr.ErrBadFormat},
+		{"futureVersion", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 99)
+			return b
+		}), aperr.ErrBadFormat},
+		{"zeroDim", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 0)
+			return b
+		}), aperr.ErrBadFormat},
+		{"watermarkBelowCount", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[28:36], 5) // NextID < n
+			return b
+		}), aperr.ErrBadFormat},
+		{"badIDsFlag", mutate(func(b []byte) []byte { b[36] = 7; return b }), aperr.ErrBadFormat},
+		{"tombstoneBeyondWatermark", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[45:53], 21) // first tombstone >= NextID
+			return b
+		}), aperr.ErrBadFormat},
+		{"tombstonesOutOfOrder", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[45:53], 9)
+			binary.LittleEndian.PutUint64(b[53:61], 3)
+			return b
+		}), aperr.ErrBadFormat},
+		{"dirtyTailBits", mutate(func(b []byte) []byte {
+			b[len(b)-1] |= 0x80 // dim 70: bits 70..127 of the last word must be zero
+			return b
+		}), aperr.ErrBadFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := bitvec.ReadSnapshot(bytes.NewReader(tc.data))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(..., %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotIDCountMismatchRejected(t *testing.T) {
+	ds := bitvec.RandomDataset(stats.NewRNG(2), 8, 64)
+	var buf bytes.Buffer
+	_, err := bitvec.WriteSnapshot(&buf, ds, &bitvec.Manifest{NextID: 100, IDs: []int{1, 2, 3}})
+	if !errors.Is(err, aperr.ErrBadFormat) {
+		t.Fatalf("got %v, want ErrBadFormat for id/vector count mismatch", err)
+	}
+}
+
+// TestReadDatasetErrors covers the same taxonomy for the version-1 dataset
+// reader: truncated header, truncated payload, wrong magic, wrong version —
+// each a typed sentinel, never a panic or silent short read.
+func TestReadDatasetErrors(t *testing.T) {
+	ds := bitvec.RandomDataset(stats.NewRNG(6), 10, 70)
+	var w bytes.Buffer
+	if _, err := ds.WriteTo(&w); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	good := w.Bytes()
+
+	mutate := func(f func([]byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, aperr.ErrTruncated},
+		{"truncatedHeader", good[:7], aperr.ErrTruncated},
+		{"headerOnly", good[:20], aperr.ErrTruncated},
+		{"truncatedPayload", good[:len(good)-3], aperr.ErrTruncated},
+		{"badMagic", mutate(func(b []byte) []byte { copy(b, "NOPE"); return b }), aperr.ErrBadFormat},
+		{"snapshotVersion", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 2)
+			return b
+		}), aperr.ErrBadFormat},
+		{"zeroDim", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 0)
+			return b
+		}), aperr.ErrBadFormat},
+		{"hugeDim", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 1<<21)
+			return b
+		}), aperr.ErrBadFormat},
+		{"countOverflow", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:20], ^uint64(0))
+			return b
+		}), aperr.ErrBadFormat},
+		{"dirtyTailBits", mutate(func(b []byte) []byte {
+			b[len(b)-1] |= 0x80
+			return b
+		}), aperr.ErrBadFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := bitvec.ReadDataset(bytes.NewReader(tc.data))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(..., %v)", err, tc.want)
+			}
+		})
+	}
+}

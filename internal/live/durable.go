@@ -1,0 +1,501 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/wal"
+)
+
+// Durability: the live index optionally owns a directory of generation-paired
+// files — snap-<gen>.apds (an APDS v2 snapshot with manifest) and
+// wal-<gen>.log (the write-ahead log of every mutation since that snapshot).
+// Every acknowledged Insert/Delete is appended to the log before it is
+// published to readers; every compaction writes a fresh snapshot and rotates
+// the log, so the replay tail stays bounded by the compaction threshold.
+// Recovery loads the newest complete pair and replays the log over it,
+// reconstructing the exact pre-crash live view: identical global IDs,
+// identical NextID watermark, byte-identical search results.
+//
+// Crash windows and why the pairing rule survives them:
+//
+//   - during snapshot write: the snapshot lands at a .tmp name; the previous
+//     pair is untouched and authoritative.
+//   - between snapshot rename and log rotation: snap-G exists without wal-G
+//     (an orphan). Every record acknowledged so far is still in wal-(G-1),
+//     so recovery prefers the older *complete* pair. An orphan is trusted
+//     only when no complete pair exists anywhere — the first-open window,
+//     where no mutation has ever been acknowledged.
+//   - after log rotation: wal-G was assembled at a .tmp name (header, barrier,
+//     the churn that landed mid-compile) and renamed into place, so a wal that
+//     exists is never a torn prefix of itself; pair G is authoritative.
+//   - mid-append: the torn final record is detected by its CRC and truncated
+//     away on replay; only the unacknowledged tail is lost.
+
+// DurableOptions configures the durability directory of an Index.
+type DurableOptions struct {
+	// Dir is the directory holding the snapshot and log generations.
+	Dir string
+	// Policy selects when WAL appends reach stable storage (default
+	// wal.SyncAlways).
+	Policy wal.SyncPolicy
+	// SyncInterval is the flush period under wal.SyncInterval (default
+	// 100ms; ignored for the other policies).
+	SyncInterval time.Duration
+}
+
+// DefaultSyncInterval is the flush period wal.SyncInterval uses when
+// DurableOptions doesn't say otherwise.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// RecoveryInfo reports what NewDurable reconstructed from the directory.
+type RecoveryInfo struct {
+	// Recovered is false on a first open (empty directory, seed dataset used).
+	Recovered bool
+	// Generation of the snapshot the index resumed from.
+	Generation int64
+	// SnapshotVectors is the vector count of the loaded snapshot.
+	SnapshotVectors int
+	// ReplayedRecords is the number of WAL records applied over the snapshot.
+	ReplayedRecords int
+	// ReplayedBytes is the valid record bytes replayed.
+	ReplayedBytes int64
+	// Torn reports that the log ended in a partial or corrupt record that was
+	// truncated away — the expected shape of a crash mid-append.
+	Torn bool
+}
+
+// durState is the per-index durability bookkeeping behind DurStats.
+type durState struct {
+	dir     string
+	policy  wal.SyncPolicy
+	info    RecoveryInfo
+	snapGen atomic.Int64
+	// snapUnixNano is when the current snapshot generation was written (or
+	// loaded, after recovery) — the freshness behind DurSnapshot.SnapshotAge.
+	snapUnixNano atomic.Int64
+
+	syncMu  sync.Mutex
+	syncErr error
+}
+
+// DurSnapshot is the point-in-time durability counter block behind apknn's
+// Stats.Durability.
+type DurSnapshot struct {
+	Dir             string
+	Policy          string
+	Appends         int64
+	AppendedBytes   int64
+	Fsyncs          int64
+	WALSize         int64
+	Recovered       bool
+	ReplayedRecords int64
+	ReplayedBytes   int64
+	ReplayTorn      bool
+	SnapshotGen     int64
+	SnapshotAge     time.Duration
+}
+
+// snapName and walName name one generation's file pair. The zero-padded
+// decimal keeps lexical and numeric order identical.
+func snapName(gen int64) string { return fmt.Sprintf("snap-%016d.apds", gen) }
+func walName(gen int64) string  { return fmt.Sprintf("wal-%016d.log", gen) }
+
+// parseGen inverts snapName/walName; ok is false for foreign files.
+func parseGen(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	gen, err := strconv.ParseInt(mid, 10, 64)
+	if err != nil || gen < 0 || len(mid) != 16 {
+		return 0, false
+	}
+	return gen, true
+}
+
+// NewDurable opens (or creates) a durable live index rooted at d.Dir. An
+// empty directory seeds generation 0 from ds, exactly as New would, and
+// persists it before returning; a directory with prior state recovers from
+// its newest complete snapshot/log pair — ds is then only checked for
+// dimensional agreement (it may be nil). The returned RecoveryInfo says
+// which path was taken.
+func NewDurable(ds *bitvec.Dataset, compile CompileFunc, opts Options, d DurableOptions) (*Index, RecoveryInfo, error) {
+	if d.Dir == "" {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: durable open needs a directory: %w", aperr.ErrBadFormat)
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: durable dir: %w", err)
+	}
+	gen, walExists, err := newestState(d.Dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	if gen < 0 {
+		return firstOpen(ds, compile, opts, d)
+	}
+	return openExisting(ds, compile, opts, d, gen, walExists)
+}
+
+// newestState picks the recovery generation: the newest gen with both files,
+// else the newest orphan snapshot, else -1 for an empty directory.
+func newestState(dir string) (gen int64, walExists bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return -1, false, fmt.Errorf("live: scan durable dir: %w", err)
+	}
+	snaps := map[int64]bool{}
+	wals := map[int64]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if g, ok := parseGen(e.Name(), "snap-", ".apds"); ok {
+			snaps[g] = true
+		}
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok {
+			wals[g] = true
+		}
+	}
+	best, orphan := int64(-1), int64(-1)
+	for g := range snaps {
+		if wals[g] {
+			if g > best {
+				best = g
+			}
+		} else if g > orphan {
+			orphan = g
+		}
+	}
+	if best >= 0 {
+		return best, true, nil
+	}
+	return orphan, false, nil
+}
+
+// firstOpen seeds generation 0 from ds and persists it: snapshot first, then
+// the log — so a crash between the two leaves an orphan snapshot that the
+// recovery rule accepts (no mutation can have been acknowledged yet).
+func firstOpen(ds *bitvec.Dataset, compile CompileFunc, opts Options, d DurableOptions) (*Index, RecoveryInfo, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: %w", aperr.ErrEmptyDataset)
+	}
+	base, err := compile(ds)
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: compile base: %w", err)
+	}
+	m := &bitvec.Manifest{Generation: 0, NextID: ds.Len()}
+	if err := bitvec.SaveSnapshotFile(filepath.Join(d.Dir, snapName(0)), ds, m); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: write seed snapshot: %w", err)
+	}
+	if err := wal.SyncDir(d.Dir); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: sync durable dir: %w", err)
+	}
+	lg, err := createWAL(filepath.Join(d.Dir, walName(0)), ds.Dim(), d.Policy, func(l *wal.Log) error {
+		return l.Append(wal.Record{Type: wal.RecBarrier, Gen: 0, NextID: ds.Len()})
+	})
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	x := newIndex(&baseGen{searcher: base, ds: ds}, newDelta(ds.Dim(), ds.Len()),
+		map[int]struct{}{}, 0, compile, opts)
+	info := RecoveryInfo{Generation: 0, SnapshotVectors: ds.Len()}
+	x.attachDurable(lg, d, info)
+	x.start()
+	return x, info, nil
+}
+
+// openExisting recovers from snapshot generation gen: compile the snapshot
+// dataset as the base, replay the paired log over it (or create a fresh log
+// when the pair is an orphan), and resume with the exact pre-crash state.
+func openExisting(ds *bitvec.Dataset, compile CompileFunc, opts Options, d DurableOptions, gen int64, walExists bool) (*Index, RecoveryInfo, error) {
+	snapDS, m, err := bitvec.LoadSnapshotFile(filepath.Join(d.Dir, snapName(gen)))
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: load snapshot gen %d: %w", gen, err)
+	}
+	if m.Generation != gen {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: snapshot file gen %d holds manifest gen %d: %w", gen, m.Generation, aperr.ErrBadFormat)
+	}
+	if ds != nil && ds.Dim() != snapDS.Dim() {
+		return nil, RecoveryInfo{}, fmt.Errorf("live: seed dim %d, durable state dim %d: %w", ds.Dim(), snapDS.Dim(), aperr.ErrDimMismatch)
+	}
+	dim := snapDS.Dim()
+	var base *baseGen
+	if snapDS.Len() > 0 {
+		searcher, err := compile(snapDS)
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("live: compile recovered base: %w", err)
+		}
+		base = &baseGen{searcher: searcher, ds: snapDS, ids: m.IDs}
+	}
+	store := newDelta(dim, m.NextID)
+	tomb := map[int]struct{}{}
+	baseTombs := 0
+	for _, id := range m.Tombstones {
+		tomb[id] = struct{}{}
+		if base != nil && base.contains(id) {
+			baseTombs++
+		}
+	}
+	info := RecoveryInfo{Recovered: true, Generation: gen, SnapshotVectors: snapDS.Len()}
+	var lg *wal.Log
+	if walExists {
+		first := true
+		var rep wal.Replay
+		lg, rep, err = wal.Open(filepath.Join(d.Dir, walName(gen)), dim, wal.Options{Policy: d.Policy}, func(r wal.Record) error {
+			if first {
+				first = false
+				if r.Type != wal.RecBarrier || r.Gen != gen || r.NextID != m.NextID {
+					return fmt.Errorf("live: log gen %d barrier (%d,%d) disagrees with manifest (%d,%d): %w",
+						gen, r.Gen, r.NextID, gen, m.NextID, aperr.ErrBadFormat)
+				}
+				return nil
+			}
+			return applyRecord(r, dim, base, store, tomb, &baseTombs)
+		})
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("live: replay gen %d: %w", gen, err)
+		}
+		info.ReplayedRecords = rep.Records
+		info.ReplayedBytes = rep.Bytes
+		info.Torn = rep.Torn
+	} else {
+		// Orphan snapshot: the crash hit between the snapshot rename and the
+		// log rotation of a first open, before any mutation was acknowledged.
+		// Materialize the missing log.
+		lg, err = createWAL(filepath.Join(d.Dir, walName(gen)), dim, d.Policy, func(l *wal.Log) error {
+			return l.Append(wal.Record{Type: wal.RecBarrier, Gen: gen, NextID: m.NextID})
+		})
+		if err != nil {
+			return nil, RecoveryInfo{}, err
+		}
+	}
+	x := newIndex(base, store, tomb, baseTombs, compile, opts)
+	x.generation.Store(gen)
+	x.attachDurable(lg, d, info)
+	// Stale generations — older pairs superseded by this one, or a newer
+	// orphan snapshot whose rotation never completed — are dead weight now.
+	removeOtherGens(d.Dir, gen)
+	x.start()
+	return x, info, nil
+}
+
+// applyRecord replays one mutation record into the recovery state, enforcing
+// the invariants the appender maintained: insert IDs are exactly sequential,
+// deletes name a live vector, barriers appear only at the head.
+func applyRecord(r wal.Record, dim int, base *baseGen, store *delta, tomb map[int]struct{}, baseTombs *int) error {
+	switch r.Type {
+	case wal.RecInsert:
+		if want := store.firstID + store.n; r.ID != want {
+			return fmt.Errorf("live: replay insert id %d, want %d: %w", r.ID, want, aperr.ErrBadFormat)
+		}
+		store.append(bitvec.FromWords(dim, r.Words))
+		return nil
+	case wal.RecDelete:
+		if _, dead := tomb[r.ID]; dead {
+			return fmt.Errorf("live: replay double delete %d: %w", r.ID, aperr.ErrBadFormat)
+		}
+		inBase := base != nil && base.contains(r.ID)
+		inDelta := r.ID >= store.firstID && r.ID < store.firstID+store.n
+		if !inBase && !inDelta {
+			return fmt.Errorf("live: replay delete of unknown id %d: %w", r.ID, aperr.ErrBadFormat)
+		}
+		tomb[r.ID] = struct{}{}
+		if inBase {
+			*baseTombs++
+		}
+		return nil
+	case wal.RecBarrier:
+		return fmt.Errorf("live: barrier after head of log: %w", aperr.ErrBadFormat)
+	default:
+		return fmt.Errorf("live: replay record type %d: %w", r.Type, aperr.ErrBadFormat)
+	}
+}
+
+// createWAL assembles a log at a temporary name — header plus whatever
+// records fill writes — syncs it, and renames it into place. A wal file that
+// exists under its real name is therefore always a complete prefix: recovery
+// never has to distinguish a torn header from a foreign file.
+func createWAL(path string, dim int, policy wal.SyncPolicy, fill func(*wal.Log) error) (*wal.Log, error) {
+	tmp := path + ".tmp"
+	l, err := wal.Create(tmp, dim, wal.Options{Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*wal.Log, error) {
+		l.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := fill(l); err != nil {
+		return fail(err)
+	}
+	if err := l.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("live: rotate wal: %w", err))
+	}
+	if err := wal.SyncDir(filepath.Dir(path)); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("live: sync durable dir: %w", err)
+	}
+	return l, nil
+}
+
+// removeOtherGens deletes every generation file except gen's pair, plus any
+// stranded .tmp files. Best-effort: a leftover is storage waste, not a
+// correctness hazard, so failures are ignored.
+func removeOtherGens(dir string, gen int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		keep := name == snapName(gen) || name == walName(gen)
+		g, isSnap := parseGen(name, "snap-", ".apds")
+		g2, isWal := parseGen(name, "wal-", ".log")
+		stale := (isSnap && g != gen) || (isWal && g2 != gen) || filepath.Ext(name) == ".tmp"
+		if stale && !keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// attachDurable hands the index its WAL and bookkeeping. Called before start.
+func (x *Index) attachDurable(lg *wal.Log, d DurableOptions, info RecoveryInfo) {
+	x.wal = lg
+	x.dur = &durState{dir: d.Dir, policy: d.Policy, info: info}
+	x.dur.snapGen.Store(info.Generation)
+	x.dur.snapUnixNano.Store(time.Now().UnixNano())
+	if d.Policy == wal.SyncInterval {
+		interval := d.SyncInterval
+		if interval <= 0 {
+			interval = DefaultSyncInterval
+		}
+		x.wg.Add(1)
+		go x.syncLoop(interval)
+	}
+}
+
+// syncLoop is the wal.SyncInterval flusher: acknowledged mutations reach
+// stable storage at least once per interval.
+func (x *Index) syncLoop(interval time.Duration) {
+	defer x.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-x.closed:
+			return
+		case <-t.C:
+			x.mu.Lock()
+			l := x.wal
+			x.mu.Unlock()
+			if l == nil {
+				continue
+			}
+			// A log rotated away and closed mid-tick is not a failure; the
+			// rotation synced it.
+			if err := l.Sync(); err != nil && !errors.Is(err, aperr.ErrClosed) {
+				x.dur.syncMu.Lock()
+				x.dur.syncErr = err
+				x.dur.syncMu.Unlock()
+			}
+		}
+	}
+}
+
+// SyncErr returns the most recent background flush failure under the
+// interval policy, nil otherwise.
+func (x *Index) SyncErr() error {
+	if x.dur == nil {
+		return nil
+	}
+	x.dur.syncMu.Lock()
+	defer x.dur.syncMu.Unlock()
+	return x.dur.syncErr
+}
+
+// DurStats snapshots the durability counters; ok is false for an index
+// opened without a durability directory.
+func (x *Index) DurStats() (DurSnapshot, bool) {
+	if x.dur == nil {
+		return DurSnapshot{}, false
+	}
+	x.mu.Lock()
+	l := x.wal
+	x.mu.Unlock()
+	s := DurSnapshot{
+		Dir:             x.dur.dir,
+		Policy:          x.dur.policy.String(),
+		Recovered:       x.dur.info.Recovered,
+		ReplayedRecords: int64(x.dur.info.ReplayedRecords),
+		ReplayedBytes:   x.dur.info.ReplayedBytes,
+		ReplayTorn:      x.dur.info.Torn,
+		SnapshotGen:     x.dur.snapGen.Load(),
+		SnapshotAge:     time.Duration(time.Now().UnixNano() - x.dur.snapUnixNano.Load()),
+	}
+	if l != nil {
+		ws := l.Stats()
+		s.Appends = ws.Appends
+		s.AppendedBytes = ws.Bytes
+		s.Fsyncs = ws.Fsyncs
+		s.WALSize = ws.Size
+	}
+	return s, true
+}
+
+// rotateDurable is the log half of a durable compaction, called under x.mu
+// at the swap point. It assembles the new generation's log — barrier, then
+// the churn that landed mid-compile (the same inserts and tombstones the new
+// view carries) — and atomically renames it into place. The old log is
+// returned for the caller to close outside the lock.
+func (x *Index) rotateDurable(newGen int64, snap, cur *view, tomb map[int]struct{}) (*wal.Log, *wal.Log, error) {
+	newLog, err := createWAL(filepath.Join(x.dur.dir, walName(newGen)), x.dim, x.dur.policy, func(l *wal.Log) error {
+		if err := l.Append(wal.Record{Type: wal.RecBarrier, Gen: newGen, NextID: snap.nextID}); err != nil {
+			return err
+		}
+		for i := snap.delta.Len(); i < cur.delta.Len(); i++ {
+			if err := l.Append(wal.Record{Type: wal.RecInsert, ID: cur.delta.FirstID() + i, Words: cur.delta.words(i)}); err != nil {
+				return err
+			}
+		}
+		for id := range tomb {
+			if err := l.Append(wal.Record{Type: wal.RecDelete, ID: id}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	old := x.wal
+	x.wal = newLog
+	return newLog, old, nil
+}
+
+// finishDurable is the post-swap cleanup of a durable compaction: close the
+// rotated-away log, drop superseded generations, refresh the age stamp.
+func (x *Index) finishDurable(newGen int64, old *wal.Log) {
+	if old != nil {
+		old.Close()
+	}
+	removeOtherGens(x.dur.dir, newGen)
+	x.dur.snapGen.Store(newGen)
+	x.dur.snapUnixNano.Store(time.Now().UnixNano())
+}

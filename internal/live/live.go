@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/knn"
 	"repro/internal/perfmodel"
+	"repro/internal/wal"
 )
 
 // Searcher is the compiled-base contract the engine needs from a backend
@@ -132,6 +134,12 @@ type Index struct {
 	mu    sync.Mutex
 	store *delta // canonical delta store; mutate under mu
 
+	// wal, when non-nil, is the write-ahead log every mutation is appended
+	// to before it is published; the compaction swap rotates it. Both under
+	// mu. dur is the rest of the durability state (nil without a directory).
+	wal *wal.Log
+	dur *durState
+
 	// compactMu serializes compactions (background and explicit).
 	compactMu      sync.Mutex
 	lastCompactErr error // under compactMu
@@ -159,6 +167,20 @@ func New(ds *bitvec.Dataset, compile CompileFunc, opts Options) (*Index, error) 
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("live: %w", aperr.ErrEmptyDataset)
 	}
+	base, err := compile(ds)
+	if err != nil {
+		return nil, fmt.Errorf("live: compile base: %w", err)
+	}
+	x := newIndex(&baseGen{searcher: base, ds: ds}, newDelta(ds.Dim(), ds.Len()),
+		map[int]struct{}{}, 0, compile, opts)
+	x.start()
+	return x, nil
+}
+
+// newIndex assembles an Index around an already-built state — the shared
+// tail of New and the durable recovery paths. Options defaults are applied
+// here; start launches the background loops.
+func newIndex(base *baseGen, store *delta, tomb map[int]struct{}, baseTombs int, compile CompileFunc, opts Options) *Index {
 	if opts.CompactThreshold == 0 {
 		opts.CompactThreshold = DefaultCompactThreshold
 	}
@@ -168,27 +190,29 @@ func New(ds *bitvec.Dataset, compile CompileFunc, opts Options) (*Index, error) 
 			return perfmodel.CPUTime(xeon, n, q, dim)
 		}
 	}
-	base, err := compile(ds)
-	if err != nil {
-		return nil, fmt.Errorf("live: compile base: %w", err)
-	}
 	x := &Index{
 		compile: compile,
 		opts:    opts,
-		dim:     ds.Dim(),
-		store:   newDelta(ds.Dim(), ds.Len()),
+		dim:     store.dim,
+		store:   store,
 		notify:  make(chan struct{}, 1),
 		closed:  make(chan struct{}),
 	}
 	x.cur.Store(&view{
-		base:   &baseGen{searcher: base, ds: ds},
-		delta:  x.store.snapshot(),
-		tomb:   map[int]struct{}{},
-		nextID: ds.Len(),
+		base:      base,
+		delta:     store.snapshot(),
+		tomb:      tomb,
+		baseTombs: baseTombs,
+		nextID:    store.firstID + store.n,
 	})
+	return x
+}
+
+// start launches the background compactor; durable opens attach their WAL
+// (and flush loop) before calling it.
+func (x *Index) start() {
 	x.wg.Add(1)
 	go x.compactor()
-	return x, nil
 }
 
 // Dim returns the index dimensionality.
@@ -202,7 +226,10 @@ func (x *Index) NextID() int { return x.cur.Load().nextID }
 
 // Insert appends v to the delta segment and returns its global ID. The
 // vector is searchable the moment Insert returns; the reconfiguration that
-// folds it into the compiled base is deferred to the next compaction.
+// folds it into the compiled base is deferred to the next compaction. On a
+// durable index the record reaches the write-ahead log (synced per policy)
+// before the vector becomes visible, so an acknowledged insert survives a
+// crash; after Close, durable inserts fail with aperr.ErrClosed.
 func (x *Index) Insert(ctx context.Context, v bitvec.Vector) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, aperr.Canceled(err)
@@ -211,6 +238,12 @@ func (x *Index) Insert(ctx context.Context, v bitvec.Vector) (int, error) {
 		return 0, fmt.Errorf("live: vector dim %d != index dim %d: %w", v.Dim(), x.dim, aperr.ErrDimMismatch)
 	}
 	x.mu.Lock()
+	if x.wal != nil {
+		if err := x.wal.Append(wal.InsertRecord(x.store.firstID+x.store.n, v)); err != nil {
+			x.mu.Unlock()
+			return 0, fmt.Errorf("live: log insert: %w", err)
+		}
+	}
 	id := x.store.append(v)
 	old := x.cur.Load()
 	next := *old
@@ -241,6 +274,12 @@ func (x *Index) Delete(ctx context.Context, id int) error {
 	if !inBase && !old.delta.contains(id) {
 		x.mu.Unlock()
 		return fmt.Errorf("live: id %d: %w", id, aperr.ErrNotFound)
+	}
+	if x.wal != nil {
+		if err := x.wal.Append(wal.Record{Type: wal.RecDelete, ID: id}); err != nil {
+			x.mu.Unlock()
+			return fmt.Errorf("live: log delete: %w", err)
+		}
 	}
 	tomb := make(map[int]struct{}, len(old.tomb)+1)
 	for t := range old.tomb {
@@ -449,6 +488,9 @@ func (x *Index) Compact(ctx context.Context) error {
 		survivors.Append(snap.delta.vector(i))
 		ids = append(ids, gid)
 	}
+	if identity(ids) {
+		ids = nil
+	}
 	var newBase *baseGen
 	var reconfig time.Duration
 	if survivors.Len() > 0 {
@@ -458,12 +500,27 @@ func (x *Index) Compact(ctx context.Context) error {
 			x.lastCompactErr = err
 			return err
 		}
-		if identity(ids) {
-			ids = nil
-		}
 		newBase = &baseGen{searcher: searcher, ds: survivors, ids: ids}
 		if x.opts.ReconfigCost != nil {
 			reconfig = x.opts.ReconfigCost(searcher.Partitions())
+		}
+	}
+	// Durable half one: persist the survivor set as the next generation's
+	// snapshot before the swap. A crash from here until the log rotation
+	// below leaves this snapshot an orphan the recovery rule ignores — the
+	// previous pair still holds every acknowledged record.
+	newGen := x.generation.Load() + 1
+	if x.dur != nil {
+		m := &bitvec.Manifest{Generation: newGen, NextID: snap.nextID, IDs: ids}
+		if err := bitvec.SaveSnapshotFile(filepath.Join(x.dur.dir, snapName(newGen)), survivors, m); err != nil {
+			err = fmt.Errorf("live: compact snapshot: %w", err)
+			x.lastCompactErr = err
+			return err
+		}
+		if err := wal.SyncDir(x.dur.dir); err != nil {
+			err = fmt.Errorf("live: compact snapshot sync: %w", err)
+			x.lastCompactErr = err
+			return err
 		}
 	}
 	// Swap: everything that mutated while the compile ran — inserts past
@@ -486,6 +543,27 @@ func (x *Index) Compact(ctx context.Context) error {
 			baseTombs++
 		}
 	}
+	// Durable half two: rotate the log under the writer lock, so the carried
+	// churn written into the new log is exactly the churn the new view holds
+	// and no mutation can slip between them.
+	var oldLog *wal.Log
+	if x.dur != nil {
+		select {
+		case <-x.closed:
+			x.mu.Unlock()
+			err := fmt.Errorf("live: compact: %w", aperr.ErrClosed)
+			x.lastCompactErr = err
+			return err
+		default:
+		}
+		var err error
+		if _, oldLog, err = x.rotateDurable(newGen, snap, cur, tomb); err != nil {
+			x.mu.Unlock()
+			err = fmt.Errorf("live: compact rotate: %w", err)
+			x.lastCompactErr = err
+			return err
+		}
+	}
 	next := &view{
 		base:      newBase,
 		delta:     fresh.snapshot(),
@@ -496,6 +574,9 @@ func (x *Index) Compact(ctx context.Context) error {
 	x.store = fresh
 	x.cur.Store(next)
 	x.mu.Unlock()
+	if x.dur != nil {
+		x.finishDurable(newGen, oldLog)
+	}
 	// Retire the old generation's modeled meter into the accumulator; the
 	// brief tail a search still in flight on the old view accrues after
 	// this sample is accepted accounting slack.
@@ -542,14 +623,49 @@ func (x *Index) compactor() {
 	}
 }
 
-// Close stops the background compactor. The index remains searchable and
-// mutable afterwards; only automatic compaction stops.
+// Close stops the background loops (compactor and, when durable, the flush
+// timer) and releases the WAL handle, syncing it first. Closing twice — or
+// concurrently — is safe and returns nil after the first call. A non-durable
+// index remains searchable and mutable afterwards; a durable index remains
+// searchable but rejects further mutations with aperr.ErrClosed, because an
+// unlogged mutation could not survive a crash.
 func (x *Index) Close() error {
+	var err error
 	x.closeOnce.Do(func() {
 		close(x.closed)
 		x.wg.Wait()
+		x.mu.Lock()
+		if x.wal != nil {
+			err = x.wal.Close()
+		}
+		x.mu.Unlock()
 	})
-	return nil
+	return err
+}
+
+// Dataset returns a point-in-time copy of the merged live view — base
+// survivors then delta entries, ascending global-ID order, tombstones
+// dropped — densely renumbered from zero. This is the exact vector set a
+// search sees, so saving it and recompiling yields identical distances; the
+// global IDs themselves are the durability directory's job to persist.
+func (x *Index) Dataset() *bitvec.Dataset {
+	v := x.cur.Load()
+	out := bitvec.NewDataset(x.dim)
+	if v.base != nil {
+		for i := 0; i < v.base.size(); i++ {
+			if _, dead := v.tomb[v.base.globalID(i)]; dead {
+				continue
+			}
+			out.Append(v.base.ds.At(i))
+		}
+	}
+	for i := 0; i < v.delta.Len(); i++ {
+		if _, dead := v.tomb[v.delta.FirstID()+i]; dead {
+			continue
+		}
+		out.Append(v.delta.vector(i))
+	}
+	return out
 }
 
 // CompactErr returns the most recent background compaction failure, nil

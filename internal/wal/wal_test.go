@@ -1,0 +1,409 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/aperr"
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// script builds a deterministic mixed record stream: a barrier, then
+// alternating inserts and deletes.
+func script(t *testing.T, dim, n int) []Record {
+	t.Helper()
+	rng := stats.NewRNG(uint64(dim))
+	recs := []Record{{Type: RecBarrier, Gen: 3, NextID: 100}}
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			recs = append(recs, Record{Type: RecDelete, ID: 100 + i/2})
+		} else {
+			v := bitvec.Random(rng, dim)
+			recs = append(recs, Record{Type: RecInsert, ID: 100 + i, Words: v.Words()})
+		}
+	}
+	return recs
+}
+
+func writeLog(t *testing.T, path string, dim int, recs []Record) {
+	t.Helper()
+	l, err := Create(path, dim, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(got *[]Record) func(Record) error {
+	return func(r Record) error {
+		if r.Words != nil {
+			// Words alias the replay buffer; copy to retain.
+			w := make([]uint64, len(r.Words))
+			copy(w, r.Words)
+			r.Words = w
+		}
+		*got = append(*got, r)
+		return nil
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Type != b.Type || a.ID != b.ID || a.Gen != b.Gen || a.NextID != b.NextID {
+		return false
+	}
+	if len(a.Words) != len(b.Words) {
+		return false
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWALRoundTrip writes a mixed record stream and replays it back
+// byte-identically across dimensionalities, including non-word-multiple dims.
+func TestWALRoundTrip(t *testing.T) {
+	for _, dim := range []int{16, 64, 70, 128} {
+		t.Run(fmt.Sprintf("dim%d", dim), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			recs := script(t, dim, 50)
+			writeLog(t, path, dim, recs)
+
+			var got []Record
+			l, info, err := Open(path, dim, Options{}, collect(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if info.Torn {
+				t.Fatal("clean log reported torn")
+			}
+			if info.Records != len(recs) {
+				t.Fatalf("replayed %d records, want %d", info.Records, len(recs))
+			}
+			for i := range recs {
+				if !recordsEqual(got[i], recs[i]) {
+					t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+				}
+			}
+			// The reopened log keeps appending where the old one stopped.
+			extra := Record{Type: RecDelete, ID: 999}
+			if err := l.Append(extra); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got = got[:0]
+			l2, info2, err := Open(path, dim, Options{}, collect(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if info2.Records != len(recs)+1 || !recordsEqual(got[len(got)-1], extra) {
+				t.Fatalf("append after reopen lost: %d records, tail %+v", info2.Records, got[len(got)-1])
+			}
+		})
+	}
+}
+
+// TestWALTornTailSweep truncates a valid log at every byte offset inside its
+// record region and asserts replay recovers exactly the longest prefix of
+// whole records — never an error, never a panic, never a partial record.
+func TestWALTornTailSweep(t *testing.T) {
+	const dim = 24
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := script(t, dim, 12)
+	writeLog(t, full, dim, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct each record's end offset by replaying with a byte counter.
+	ends := []int64{headerLen}
+	wordsPV := bitvec.WordsFor(dim)
+	payloadLen := func(r Record) int64 {
+		switch r.Type {
+		case RecInsert:
+			return 1 + 8 + int64(8*wordsPV)
+		case RecDelete:
+			return 1 + 8
+		default:
+			return 1 + 8 + 8
+		}
+	}
+	for _, r := range recs {
+		ends = append(ends, ends[len(ends)-1]+recHeaderLen+payloadLen(r))
+	}
+	if ends[len(ends)-1] != int64(len(data)) {
+		t.Fatalf("offset math: computed %d, file %d", ends[len(ends)-1], len(data))
+	}
+
+	for cut := int64(headerLen); cut <= int64(len(data)); cut++ {
+		path := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		l, info, err := Open(path, dim, Options{}, collect(&got))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Expected: the largest i with ends[i] <= cut.
+		want := 0
+		for i, e := range ends {
+			if e <= cut {
+				want = i
+			}
+		}
+		if info.Records != want {
+			l.Close()
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, info.Records, want)
+		}
+		wholeRecord := ends[want] == cut
+		if info.Torn == wholeRecord && cut != ends[len(ends)-1] {
+			l.Close()
+			t.Fatalf("cut %d: torn=%v, whole-record boundary=%v", cut, info.Torn, wholeRecord)
+		}
+		// The torn tail was truncated: appends after reopen must survive a
+		// second replay.
+		if err := l.Append(Record{Type: RecDelete, ID: 7}); err != nil {
+			t.Fatalf("cut %d: append: %v", cut, err)
+		}
+		l.Close()
+		var got2 []Record
+		l2, info2, err := Open(path, dim, Options{}, collect(&got2))
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if info2.Torn || info2.Records != want+1 {
+			l2.Close()
+			t.Fatalf("cut %d: after truncate+append: torn=%v records=%d want=%d",
+				cut, info2.Torn, info2.Records, want+1)
+		}
+		l2.Close()
+	}
+}
+
+// TestWALCorruptRecord flips payload bytes mid-log: the CRC must stop the
+// replay at the last intact record, treating the rest as a torn tail.
+func TestWALCorruptRecord(t *testing.T) {
+	const dim = 32
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := script(t, dim, 10)
+	writeLog(t, path, dim, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte inside the 4th record's payload.
+	off := headerLen
+	for i := 0; i < 3; i++ {
+		off += recHeaderLen + payloadSize(recs[i], dim)
+	}
+	data[off+recHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	l, info, err := Open(path, dim, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !info.Torn || info.Records != 3 {
+		t.Fatalf("corrupt record: torn=%v records=%d, want torn at 3", info.Torn, info.Records)
+	}
+}
+
+func payloadSize(r Record, dim int) int {
+	switch r.Type {
+	case RecInsert:
+		return 1 + 8 + 8*bitvec.WordsFor(dim)
+	case RecDelete:
+		return 1 + 8
+	default:
+		return 1 + 8 + 8
+	}
+}
+
+// TestWALHeaderErrors pins the typed sentinels of the header boundary:
+// truncated header, wrong magic, wrong version, and a dim that does not
+// match the opening index.
+func TestWALHeaderErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	valid := filepath.Join(dir, "valid.log")
+	writeLog(t, valid, 16, script(t, 16, 3))
+	validData, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		dim  int
+		want error
+	}{
+		{"truncated header", write("trunc.log", validData[:7]), 16, aperr.ErrTruncated},
+		{"empty file", write("empty.log", nil), 16, aperr.ErrTruncated},
+		{"bad magic", write("magic.log", append([]byte("NOPE"), validData[4:]...)), 16, aperr.ErrBadFormat},
+		{"bad version", write("ver.log", append(append([]byte{}, validData[:4]...), append([]byte{9, 0, 0, 0}, validData[8:]...)...)), 16, aperr.ErrBadFormat},
+		{"dim mismatch", valid, 64, aperr.ErrDimMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, _, err := Open(tc.path, tc.dim, Options{}, nil)
+			if l != nil {
+				l.Close()
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWALSyncPolicies checks the fsync accounting each policy produces.
+func TestWALSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	rec := Record{Type: RecDelete, ID: 1}
+	const appends = 5
+
+	always, err := Create(filepath.Join(dir, "a.log"), 8, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < appends; i++ {
+		if err := always.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Create's header sync + one per append.
+	if got := always.Stats().Fsyncs; got != 1+appends {
+		t.Fatalf("always: %d fsyncs, want %d", got, 1+appends)
+	}
+	always.Close()
+
+	never, err := Create(filepath.Join(dir, "n.log"), 8, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < appends; i++ {
+		if err := never.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := never.Stats().Fsyncs; got != 1 {
+		t.Fatalf("never: %d fsyncs after appends, want 1 (header)", got)
+	}
+	if err := never.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := never.Stats().Fsyncs; got != 2 {
+		t.Fatalf("never: %d fsyncs after explicit Sync, want 2", got)
+	}
+	st := never.Stats()
+	if st.Appends != appends || st.Bytes <= 0 || st.Size != headerLen+st.Bytes {
+		t.Fatalf("stats off: %+v", st)
+	}
+	never.Close()
+}
+
+// TestWALCloseIdempotent double-closes and asserts post-close appends fail
+// with the typed sentinel instead of writing to a dead fd.
+func TestWALCloseIdempotent(t *testing.T) {
+	l, err := Create(filepath.Join(t.TempDir(), "wal.log"), 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := l.Append(Record{Type: RecDelete, ID: 0}); !errors.Is(err, aperr.ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, aperr.ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+// TestWALConcurrentAppend hammers Append and Sync from parallel goroutines
+// (the -race workout), then replays and asserts every record arrived intact.
+func TestWALConcurrentAppend(t *testing.T) {
+	const dim, writers, each = 48, 8, 50
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, dim, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(w))
+			for i := 0; i < each; i++ {
+				v := bitvec.Random(rng, dim)
+				if err := l.Append(InsertRecord(w*each+i, v)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if err := l.Sync(); err != nil {
+						t.Errorf("sync: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	l2, info, err := Open(path, dim, Options{}, func(r Record) error {
+		if r.Type != RecInsert {
+			return fmt.Errorf("unexpected type %d", r.Type)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Torn || info.Records != writers*each || len(seen) != writers*each {
+		t.Fatalf("replay: torn=%v records=%d unique=%d, want %d", info.Torn, info.Records, len(seen), writers*each)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/live"
+	"repro/internal/wal"
 )
 
 // LiveIndex is a mutable Index: the compiled base the selected backend
@@ -28,20 +29,77 @@ import (
 type LiveIndex struct {
 	kind BackendKind
 	eng  *live.Index
+	rec  *RecoveryInfo // nil without WithDurability
 	ctrs counters
 }
 
-// OpenLive compiles ds for the selected backend like Open, but returns a
-// mutable index. The seed dataset must be non-empty and must not be mutated
-// by the caller afterwards; new vectors enter through Insert. Close stops
-// the background compactor when the index is no longer needed.
-func OpenLive(ds *Dataset, opts ...Option) (*LiveIndex, error) {
-	if ds == nil || ds.Len() == 0 {
-		return nil, fmt.Errorf("apknn: %w", aperr.ErrEmptyDataset)
+// FsyncPolicy selects when a durable live index's write-ahead-log appends
+// reach stable storage (WithDurability, apserve -fsync).
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged mutation
+	// survives power loss. The default, and the slowest.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer (Config.FsyncInterval): a crash loses
+	// at most one interval of acknowledged mutations.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache: a process crash
+	// loses nothing, power loss may lose the unsynced tail.
+	FsyncNever
+)
+
+// String names the policy the way the -fsync flag spells it.
+func (p FsyncPolicy) String() string { return p.wal().String() }
+
+// wal maps the public policy onto the engine's.
+func (p FsyncPolicy) wal() wal.SyncPolicy {
+	switch p {
+	case FsyncInterval:
+		return wal.SyncInterval
+	case FsyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncAlways
 	}
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "never" — the -fsync flag
+// values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("apknn: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// RecoveryInfo reports what a durable OpenLive reconstructed from its
+// directory.
+type RecoveryInfo = live.RecoveryInfo
+
+// OpenLive compiles ds for the selected backend like Open, but returns a
+// mutable index. The seed dataset must not be mutated by the caller
+// afterwards; new vectors enter through Insert. Close stops the background
+// compactor when the index is no longer needed.
+//
+// With WithDurability, every mutation is write-ahead logged under the data
+// directory and each compaction persists a snapshot there; an OpenLive over
+// a directory holding prior state recovers the exact previous index — the
+// seed dataset is then only checked for dimensional agreement and may be
+// nil. Without durability the seed must be non-empty.
+func OpenLive(ds *Dataset, opts ...Option) (*LiveIndex, error) {
 	cfg := Config{Backend: AP, Seed: 1}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.DataDir == "" && (ds == nil || ds.Len() == 0) {
+		return nil, fmt.Errorf("apknn: %w", aperr.ErrEmptyDataset)
 	}
 	backendsMu.RLock()
 	b, ok := backends[cfg.Backend]
@@ -56,11 +114,23 @@ func OpenLive(ds *Dataset, opts ...Option) (*LiveIndex, error) {
 		}
 		return liveSearcher{idx}, nil
 	}
-	eng, err := live.New(ds, compile, live.Options{
+	lopts := live.Options{
 		CompactThreshold: cfg.CompactThreshold,
 		CompactInterval:  cfg.CompactInterval,
 		ReconfigCost:     reconfigCost(cfg),
-	})
+	}
+	if cfg.DataDir != "" {
+		eng, info, err := live.NewDurable(ds, compile, lopts, live.DurableOptions{
+			Dir:          cfg.DataDir,
+			Policy:       cfg.Fsync.wal(),
+			SyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &LiveIndex{kind: cfg.Backend, eng: eng, rec: &info}, nil
+	}
+	eng, err := live.New(ds, compile, lopts)
 	if err != nil {
 		return nil, err
 	}
@@ -121,9 +191,36 @@ func (l *LiveIndex) Delete(ctx context.Context, id int) error {
 // like the background compactor but on the caller's schedule.
 func (l *LiveIndex) Compact(ctx context.Context) error { return l.eng.Compact(ctx) }
 
-// Close stops the background compactor. The index stays searchable and
-// mutable; only automatic compaction stops.
+// Close stops the background compactor (and, when durable, the flush timer)
+// and releases the write-ahead-log handle. Closing twice is safe. A
+// non-durable index stays searchable and mutable afterwards; a durable one
+// stays searchable but rejects further mutations with ErrClosed, because an
+// unlogged mutation could not survive a crash.
 func (l *LiveIndex) Close() error { return l.eng.Close() }
+
+// Recovery reports what a durable OpenLive reconstructed from its data
+// directory; ok is false for an index opened without WithDurability.
+func (l *LiveIndex) Recovery() (RecoveryInfo, bool) {
+	if l.rec == nil {
+		return RecoveryInfo{}, false
+	}
+	return *l.rec, true
+}
+
+// Dataset returns a point-in-time copy of the merged live view — base plus
+// delta minus tombstones, in ascending global-ID order, densely renumbered
+// from zero. It is the exact vector set searches run against, so compiling
+// the copy reproduces identical distances.
+func (l *LiveIndex) Dataset() *Dataset { return l.eng.Dataset() }
+
+// SaveDataset writes the merged live view (Dataset) to path in the binary
+// dataset format: the saved file round-trips through LoadDataset + Open to
+// the same search results the live index returns, instead of silently
+// dropping pending delta inserts and resurrecting tombstoned vectors the
+// way saving only the compiled base would. Global IDs are densely
+// renumbered in the file; preserving them across restarts is what
+// WithDurability is for.
+func (l *LiveIndex) SaveDataset(path string) error { return l.eng.Dataset().SaveFile(path) }
 
 // Len returns the number of live (inserted or seed, not deleted) vectors.
 func (l *LiveIndex) Len() int { return l.eng.Len() }
@@ -180,6 +277,22 @@ func (l *LiveIndex) Stats() Stats {
 		MixedSearches: ls.MixedSearches,
 		ReconfigTime:  ls.ReconfigTime,
 		DeltaScanTime: ls.DeltaScanTime,
+	}
+	if d, ok := l.eng.DurStats(); ok {
+		st.Durability = &DurabilityStats{
+			Dir:                d.Dir,
+			Fsync:              d.Policy,
+			Appends:            d.Appends,
+			AppendedBytes:      d.AppendedBytes,
+			Fsyncs:             d.Fsyncs,
+			WALSize:            d.WALSize,
+			Recovered:          d.Recovered,
+			ReplayedRecords:    d.ReplayedRecords,
+			ReplayedBytes:      d.ReplayedBytes,
+			ReplayTorn:         d.ReplayTorn,
+			SnapshotGeneration: d.SnapshotGen,
+			SnapshotAge:        d.SnapshotAge,
+		}
 	}
 	return st
 }

@@ -39,6 +39,9 @@ type Stats struct {
 	// Live is the mutable-index block, present only for indexes opened
 	// with OpenLive.
 	Live *LiveStats `json:"live,omitempty"`
+	// Durability is the write-ahead-log block, present only for live
+	// indexes opened with WithDurability.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // LiveStats is the mutable-index snapshot of an OpenLive index: how much
@@ -72,6 +75,41 @@ type LiveStats struct {
 	ReconfigTime time.Duration `json:"reconfig_time_ns"`
 	// DeltaScanTime is the modeled CPU time of the exact delta scans.
 	DeltaScanTime time.Duration `json:"delta_scan_time_ns"`
+}
+
+// DurabilityStats is the write-ahead-log snapshot of a durable live index:
+// how much has been logged and synced since open, what recovery replayed at
+// boot, and how stale the newest snapshot is (the length of the log a crash
+// right now would replay). GET /v1/stats on a durable apserve reports it
+// under "backend.durability".
+type DurabilityStats struct {
+	// Dir is the durability directory.
+	Dir string `json:"dir"`
+	// Fsync is the active sync policy: "always", "interval" or "never".
+	Fsync string `json:"fsync"`
+	// Appends is the number of WAL records appended since open.
+	Appends int64 `json:"appends"`
+	// AppendedBytes is the total record bytes appended since open.
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Fsyncs is the number of fsync calls issued on the log.
+	Fsyncs int64 `json:"fsyncs"`
+	// WALSize is the current log length in bytes, replayed prefix included.
+	WALSize int64 `json:"wal_size"`
+	// Recovered reports whether this index was reconstructed from prior
+	// durable state (false: the directory was seeded fresh).
+	Recovered bool `json:"recovered"`
+	// ReplayedRecords is how many log records recovery applied at open.
+	ReplayedRecords int64 `json:"replayed_records"`
+	// ReplayedBytes is the valid record bytes recovery replayed at open.
+	ReplayedBytes int64 `json:"replayed_bytes"`
+	// ReplayTorn reports that the log ended in a partial record that was
+	// truncated away at open — the signature of a crash mid-append.
+	ReplayTorn bool `json:"replay_torn"`
+	// SnapshotGeneration numbers the newest on-disk snapshot.
+	SnapshotGeneration int64 `json:"snapshot_generation"`
+	// SnapshotAge is how long ago that snapshot was written (or loaded,
+	// after recovery) — the staleness bound on the next recovery's replay.
+	SnapshotAge time.Duration `json:"snapshot_age_ns"`
 }
 
 // ServingStats is the micro-batcher and admission-control snapshot of the
