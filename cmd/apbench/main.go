@@ -52,8 +52,9 @@ type benchRecord struct {
 	// HostQPS is queries / host wall-clock; nil when the cell did not
 	// measure it. Pointers keep a measured 0 distinguishable from absent.
 	HostQPS *float64 `json:"host_qps,omitempty"`
-	// P50NS and P99NS are request latency percentiles in nanoseconds.
+	// P50NS, P90NS and P99NS are request latency percentiles in nanoseconds.
 	P50NS *int64 `json:"p50_ns,omitempty"`
+	P90NS *int64 `json:"p90_ns,omitempty"`
 	P99NS *int64 `json:"p99_ns,omitempty"`
 	// Recall is mean recall@k against the exact scan.
 	Recall *float64 `json:"recall,omitempty"`
@@ -464,7 +465,7 @@ func serveExperiment() {
 	tb := report.NewTable(
 		fmt.Sprintf("HTTP serving: dynamic micro-batching on sharded x4 (n=%d, d=%d, k=%d, %d reqs/client)",
 			n, dim, k, reqsPerClient),
-		"window", "clients", "mean batch", "fleet QPS (modeled)", "host QPS", "p50", "p99")
+		"window", "clients", "mean batch", "fleet QPS (modeled)", "host QPS", "p50", "p90", "p99")
 	for _, window := range windows {
 		for _, conc := range concs {
 
@@ -478,6 +479,7 @@ func serveExperiment() {
 				fmt.Sprintf("%.0f", cell.fleetQPS),
 				fmt.Sprintf("%.0f", cell.hostQPS),
 				cell.p50.Round(time.Microsecond),
+				cell.p90.Round(time.Microsecond),
 				cell.p99.Round(time.Microsecond))
 			record(benchRecord{
 				Experiment: "serve",
@@ -488,6 +490,7 @@ func serveExperiment() {
 				ModeledQPS: cell.fleetQPS,
 				HostQPS:    fptr(cell.hostQPS),
 				P50NS:      iptr(int64(cell.p50)),
+				P90NS:      iptr(int64(cell.p90)),
 				P99NS:      iptr(int64(cell.p99)),
 			})
 		}
@@ -498,10 +501,10 @@ func serveExperiment() {
 }
 
 type serveCell struct {
-	meanBatch float64
-	fleetQPS  float64
-	hostQPS   float64
-	p50, p99  time.Duration
+	meanBatch     float64
+	fleetQPS      float64
+	hostQPS       float64
+	p50, p90, p99 time.Duration
 }
 
 // runServeCell serves one (window, concurrency) point on a fresh index and
@@ -579,6 +582,7 @@ func runServeCell(n, dim, k, maxBatch, reqsPerClient int, window time.Duration, 
 		meanBatch: srv.Stats().MeanBatch,
 		hostQPS:   total / wall.Seconds(),
 		p50:       all[len(all)/2],
+		p90:       all[len(all)*9/10],
 		p99:       all[len(all)*99/100],
 	}
 	if modeled > 0 {

@@ -27,15 +27,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -51,20 +53,33 @@ func main() {
 	retries := flag.Int("retries", 3, "attempts per replica on saturated (429/503) answers, honoring Retry-After")
 	bootTimeout := flag.Duration("boot-timeout", 30*time.Second, "how long to wait for shards to answer the base-resolving probe")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofOn := flag.Bool("pprof", false, obs.PprofFlagDoc)
+	slowQuery := flag.Duration("slow-query", -1, obs.SlowQueryFlagDoc)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aprouter:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	var m *cluster.Manifest
-	var err error
 	switch {
 	case *manifestPath != "" && *shards != "":
-		log.Fatal("aprouter: -manifest and -shards are mutually exclusive")
+		fatal("flag validation", errors.New("-manifest and -shards are mutually exclusive"))
 	case *manifestPath != "":
 		if m, err = cluster.LoadManifest(*manifestPath); err != nil {
-			log.Fatal("aprouter: ", err)
+			fatal("load manifest", err)
 		}
 	case *shards != "":
 		if m, err = cluster.ParseTopology(*shards); err != nil {
-			log.Fatal("aprouter: ", err)
+			fatal("parse topology", err)
 		}
 		// The nodes may still be booting; retry the probe until the budget
 		// runs out so "start everything at once" just works.
@@ -78,59 +93,88 @@ func main() {
 		}
 		cancel()
 		if err != nil {
-			log.Fatal("aprouter: resolving shard bases: ", err)
+			fatal("resolve shard bases", err)
 		}
 	default:
-		log.Fatal("aprouter: one of -shards or -manifest is required")
+		fatal("flag validation", errors.New("one of -shards or -manifest is required"))
 	}
 	if *writeManifest != "" {
 		if err := m.Save(*writeManifest); err != nil {
-			log.Fatal("aprouter: ", err)
+			fatal("write manifest", err)
 		}
-		log.Printf("aprouter: wrote manifest to %s", *writeManifest)
+		logger.Info("manifest written", "path", *writeManifest)
 	}
 
-	router, err := cluster.New(m, cluster.Config{
+	cfg := cluster.Config{
 		HedgeDelay:    *hedge,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		DefaultK:      *defaultK,
 		Dim:           m.Dim,
 		Retry:         serve.RetryPolicy{MaxAttempts: *retries},
-	})
+		Logger:        logger,
+	}
+	if *slowQuery >= 0 {
+		cfg.SlowQueryLog = logger
+		cfg.SlowQuery = *slowQuery
+	}
+	router, err := cluster.New(m, cfg)
 	if err != nil {
-		log.Fatal("aprouter: ", err)
+		fatal("build router", err)
 	}
 	for i, sh := range m.Shards {
-		log.Printf("aprouter: shard %d: base %d, %d replica(s): %v", i, sh.Base, len(sh.Replicas), sh.Replicas)
+		logger.Info("shard mapped",
+			"shard", i, "base", sh.Base,
+			"replicas", len(sh.Replicas), "addrs", fmt.Sprintf("%v", sh.Replicas))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal("aprouter: ", err)
+		fatal("listen", err)
 	}
-	httpSrv := &http.Server{Handler: router.Handler()}
+	handler := router.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("aprouter: routing %d shard(s) x replicas on %s (hedge %v, probe every %v)",
-		len(m.Shards), ln.Addr(), *hedge, *probeInterval)
+	logger.Info("routing",
+		"addr", ln.Addr().String(), "shards", len(m.Shards),
+		"hedge", *hedge, "probe_interval", *probeInterval)
 
 	select {
 	case err := <-errCh:
-		log.Fatal("aprouter: ", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("aprouter: draining (budget %v)", *drain)
+	logger.Info("draining", "budget", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "aprouter: shutdown:", err)
+		logger.Error("shutdown", "error", err)
 	}
 	router.Close()
 	st := router.Stats()
-	log.Printf("aprouter: routed %d searches (%d shard calls, %d hedges/%d wins, %d failovers, %d retries); bye",
-		st.Searches, st.ShardCalls, st.Hedges, st.HedgeWins, st.Failovers, st.Retries)
+	logger.Info("stopped",
+		"searches", st.Searches, "shard_calls", st.ShardCalls,
+		"hedges", st.Hedges, "hedge_wins", st.HedgeWins,
+		"failovers", st.Failovers, "retries", st.Retries)
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the API handler —
+// only when -pprof is set, so profiling surface is opt-in.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

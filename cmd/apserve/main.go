@@ -33,9 +33,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ import (
 
 	apknn "repro"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -71,7 +73,21 @@ func main() {
 	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
 	nodeID := flag.String("node-id", "", "cluster identity reported in the /v1/stats node block (default: the listen address)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofOn := flag.Bool("pprof", false, obs.PprofFlagDoc)
+	slowQuery := flag.Duration("slow-query", -1, obs.SlowQueryFlagDoc)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apserve:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	generation := apknn.Gen2
 	if *gen == 1 {
@@ -81,18 +97,18 @@ func main() {
 	if *load != "" {
 		var err error
 		if ds, err = apknn.LoadDataset(*load); err != nil {
-			log.Fatal("apserve: ", err)
+			fatal("load dataset", err)
 		}
-		log.Printf("apserve: loaded %d x %d-bit dataset from %s", ds.Len(), ds.Dim(), *load)
+		logger.Info("dataset loaded", "path", *load, "vectors", ds.Len(), "dim", ds.Dim())
 	} else {
-		log.Printf("apserve: building %d x %d-bit dataset (seed %d)", *n, *dim, *seed)
+		logger.Info("building dataset", "vectors", *n, "dim", *dim, "seed", *seed)
 		ds = apknn.RandomDataset(*seed, *n, *dim)
 	}
 	if *save != "" && !*liveMode {
 		if err := apknn.SaveDataset(ds, *save); err != nil {
-			log.Fatal("apserve: ", err)
+			fatal("save dataset", err)
 		}
-		log.Printf("apserve: saved dataset to %s", *save)
+		logger.Info("dataset saved", "path", *save)
 	}
 	opts := []apknn.Option{
 		apknn.WithBackend(apknn.BackendKind(*backend)),
@@ -103,7 +119,6 @@ func main() {
 	}
 	var idx apknn.Index
 	var liveIdx *apknn.LiveIndex
-	var err error
 	if *liveMode {
 		liveOpts := append(opts,
 			apknn.WithCompactThreshold(*compactThreshold),
@@ -111,7 +126,7 @@ func main() {
 		if *dataDir != "" {
 			policy, perr := apknn.ParseFsyncPolicy(*fsync)
 			if perr != nil {
-				log.Fatal("apserve: ", perr)
+				fatal("parse fsync policy", perr)
 			}
 			liveOpts = append(liveOpts, apknn.WithDurability(*dataDir, apknn.DurabilityOptions{
 				Fsync:         policy,
@@ -122,25 +137,27 @@ func main() {
 		idx = liveIdx
 	} else {
 		if *dataDir != "" {
-			log.Fatal("apserve: -data-dir requires -live")
+			fatal("flag validation", errors.New("-data-dir requires -live"))
 		}
 		idx, err = apknn.Open(ds, opts...)
 	}
 	if err != nil {
-		log.Fatal("apserve: ", err)
+		fatal("open index", err)
 	}
 	if liveIdx != nil {
 		if rec, ok := liveIdx.Recovery(); ok {
 			if rec.Recovered {
-				torn := ""
-				if rec.Torn {
-					torn = ", torn tail truncated"
-				}
-				log.Printf("apserve: recovered generation %d from %s: %d snapshot vectors + %d replayed records (%d bytes%s), %d live, next ID %d",
-					rec.Generation, *dataDir, rec.SnapshotVectors, rec.ReplayedRecords,
-					rec.ReplayedBytes, torn, liveIdx.Len(), liveIdx.NextID())
+				logger.Info("recovered durable state",
+					"dir", *dataDir,
+					"generation", rec.Generation,
+					"snapshot_vectors", rec.SnapshotVectors,
+					"replayed_records", rec.ReplayedRecords,
+					"replayed_bytes", rec.ReplayedBytes,
+					"torn_tail", rec.Torn,
+					"live_vectors", liveIdx.Len(),
+					"next_id", liveIdx.NextID())
 			} else {
-				log.Printf("apserve: seeded durable state at %s (fsync %s)", *dataDir, *fsync)
+				logger.Info("seeded durable state", "dir", *dataDir, "fsync", *fsync)
 			}
 		}
 	}
@@ -153,12 +170,13 @@ func main() {
 		}
 		mode = fmt.Sprintf("live (compact threshold %d, interval %v)", threshold, *compactInterval)
 	}
-	log.Printf("apserve: backend %q ready: %d board(s), %d partition(s), %s",
-		st.Backend, st.Boards, st.Partitions, mode)
+	logger.Info("backend ready",
+		"backend", string(st.Backend), "boards", st.Boards,
+		"partitions", st.Partitions, "mode", mode)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal("apserve: ", err)
+		fatal("listen", err)
 	}
 	id := *nodeID
 	if id == "" {
@@ -168,7 +186,7 @@ func main() {
 	if liveIdx != nil {
 		vectors = liveIdx.Len() // recovery may have diverged from the seed
 	}
-	srv := serve.New(idx, serve.Config{
+	cfg := serve.Config{
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
 		MaxInFlight: *maxInFlight,
@@ -177,52 +195,77 @@ func main() {
 		NodeID:      id,
 		Addr:        ln.Addr().String(),
 		Vectors:     vectors,
-	})
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	}
+	if *slowQuery >= 0 {
+		cfg.SlowQueryLog = logger
+		cfg.SlowQuery = *slowQuery
+	}
+	srv := serve.New(idx, cfg)
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("apserve: serving on %s (batch cap %d, window %v, max in-flight %d)",
-		ln.Addr(), *maxBatch, *window, *maxInFlight)
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "batch_cap", *maxBatch,
+		"window", *window, "max_inflight", *maxInFlight)
 
 	select {
 	case err := <-errCh:
-		log.Fatal("apserve: ", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("apserve: draining (budget %v)", *drain)
+	logger.Info("draining", "budget", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop the listener first so handlers finish, then flush the batcher's
 	// remaining queue.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "apserve: shutdown:", err)
+		logger.Error("shutdown", "error", err)
 	}
 	if err := srv.Close(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "apserve: drain:", err)
+		logger.Error("drain", "error", err)
 	}
 	if liveIdx != nil {
 		if err := liveIdx.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "apserve: live close:", err)
+			logger.Error("live close", "error", err)
 		}
 		if *save != "" {
 			// The merged live view — base plus delta minus tombstones — so
 			// the saved file matches what the index was actually serving.
 			if err := liveIdx.SaveDataset(*save); err != nil {
-				fmt.Fprintln(os.Stderr, "apserve: save:", err)
+				logger.Error("save live view", "error", err)
 			} else {
-				log.Printf("apserve: saved %d-vector live view to %s", liveIdx.Len(), *save)
+				logger.Info("live view saved", "path", *save, "vectors", liveIdx.Len())
 			}
 		}
 		if ls := liveIdx.Stats().Live; ls != nil {
-			log.Printf("apserve: live index saw %d inserts, %d deletes, %d compaction(s)",
-				ls.Inserts, ls.Deletes, ls.Compactions)
+			logger.Info("live index summary",
+				"inserts", ls.Inserts, "deletes", ls.Deletes, "compactions", ls.Compactions)
 		}
 	}
 	final := srv.Stats()
-	log.Printf("apserve: served %d requests in %d flushes (mean batch %.2f), %d rejected; bye",
-		final.Requests, final.Flushes, final.MeanBatch, final.Rejected)
+	logger.Info("stopped",
+		"requests", final.Requests, "flushes", final.Flushes,
+		"mean_batch", final.MeanBatch, "rejected", final.Rejected)
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the API handler —
+// only when -pprof is set, so profiling surface is opt-in.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

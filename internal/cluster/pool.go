@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,9 @@ type shardSet struct {
 	// the broadcast under a lock makes all replicas see one router's
 	// inserts in one order. (Deletes are by-ID tombstones, order-free.)
 	insertMu sync.Mutex
+	// legs counts attempts launched against this shard — the per-shard
+	// counter /metrics exports as apknn_cluster_shard_legs_total.
+	legs atomic.Int64
 }
 
 // candidates returns the replicas in attempt order for one request: healthy
@@ -107,16 +111,34 @@ func (r *Router) Probe(ctx context.Context) {
 				if err != nil {
 					if rep.healthy.Swap(false) {
 						r.ctrs.ejected.Add(1)
+						r.logHealth("replica ejected", rep, err)
 					}
 					return
 				}
 				if !rep.healthy.Swap(true) {
 					r.ctrs.readmitted.Add(1)
+					r.logHealth("replica readmitted", rep, nil)
 				}
 			}(rep)
 		}
 	}
 	wg.Wait()
+}
+
+// logHealth emits one structured health-transition record when the router
+// was configured with a Logger; err is attached for ejections.
+func (r *Router) logHealth(msg string, rep *replica, err error) {
+	if r.cfg.Logger == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Int("shard", rep.shard),
+		slog.String("addr", rep.addr),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	r.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, msg, attrs...)
 }
 
 // prober is the background health loop, stopped by Close.

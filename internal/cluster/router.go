@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	apknn "repro"
 	"repro/internal/knn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -39,6 +42,16 @@ type Config struct {
 	Retry serve.RetryPolicy
 	// HTTPClient overrides the pooled client all replica connections share.
 	HTTPClient *http.Client
+	// Logger, when non-nil, receives structured records for replica health
+	// transitions (eject on probe/transport failure, readmit on recovery).
+	Logger *slog.Logger
+	// SlowQueryLog, when non-nil, receives one structured record per routed
+	// request whose end-to-end latency is at least SlowQuery, with request ID
+	// and stage breakdown. Nil disables slow-query logging.
+	SlowQueryLog *slog.Logger
+	// SlowQuery is the slow-query threshold; zero with SlowQueryLog set logs
+	// every routed request.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +121,7 @@ func New(m *Manifest, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("/v1/delete", r.handleDelete)
 	r.mux.HandleFunc("/v1/stats", r.handleStats)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
 	probeCtx, cancel := context.WithCancel(context.Background())
 	r.probeStop = cancel
 	if cfg.ProbeInterval > 0 {
@@ -203,6 +217,9 @@ type attemptResult struct {
 	err    error
 	rep    *replica
 	hedged bool
+	// launched is when this attempt was fired; a winning hedge subtracts the
+	// primary's launch from it to report the hedge-win margin.
+	launched time.Time
 }
 
 // shardCall runs one shard's leg of a scatter with failover and hedging:
@@ -218,15 +235,26 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 	results := make(chan attemptResult, len(candidates))
 	actx, cancelAttempts := context.WithCancel(ctx)
 	defer cancelAttempts()
+	tr := obs.TraceFrom(ctx)
+	stage := "shard" + strconv.Itoa(set.shard) + "_leg"
+	var primaryLaunch time.Time
 	next, inflight := 0, 0
 	launch := func(hedged bool) {
 		rep := candidates[next]
 		next++
 		inflight++
 		r.ctrs.shardCalls.Add(1)
+		set.legs.Add(1)
+		launched := time.Now()
+		if primaryLaunch.IsZero() {
+			primaryLaunch = launched
+		}
 		go func() {
 			out, err := call(actx, rep.client)
-			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged}
+			leg := time.Since(launched)
+			legHist.Record(leg)
+			tr.Observe(stage, leg)
+			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged, launched: launched}
 		}()
 	}
 	launch(false)
@@ -250,12 +278,16 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 			if res.err == nil {
 				if res.hedged {
 					r.ctrs.hedgeWins.Add(1)
+					// The win margin is bounded below by how long the primary
+					// had already been in flight when the winner launched.
+					hedgeWinHist.RecordNS(int64(res.launched.Sub(primaryLaunch)))
 				}
 				return res.out, nil
 			}
 			if transportFailure(res.err) {
 				if res.rep.healthy.Swap(false) {
 					r.ctrs.ejected.Add(1)
+					r.logHealth("replica ejected", res.rep, res.err)
 				}
 			}
 			if firstErr == nil {
@@ -309,6 +341,9 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 		serve.WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	start := time.Now()
+	tr := obs.StartTrace(ensureRequestID(w, req))
+	defer r.observeRequest(clusterSearchHist, tr, start)
 	var body serve.SearchRequest
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
 		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -332,7 +367,9 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
 		return
 	}
-	ctx := req.Context()
+	// The caller's request ID and the span recorder ride the context: every
+	// scatter leg forwards the ID upstream and observes its duration.
+	ctx := obs.WithTrace(obs.WithRequestID(req.Context(), tr.ID), tr)
 	if body.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
@@ -379,6 +416,9 @@ func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
+	start := time.Now()
+	tr := obs.StartTrace(ensureRequestID(w, req))
+	defer r.observeRequest(clusterSearchBatchHist, tr, start)
 	if len(body.Queries) == 0 {
 		serve.WriteError(w, http.StatusBadRequest, "empty query batch")
 		return
@@ -405,7 +445,8 @@ func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	r.ctrs.batchSearches.Add(1)
 	shardReq := serve.SearchBatchRequest{Queries: body.Queries, K: k}
-	outs, err := r.scatter(req.Context(), func(ctx context.Context, c *serve.Client) (interface{}, error) {
+	bctx := obs.WithTrace(obs.WithRequestID(req.Context(), tr.ID), tr)
+	outs, err := r.scatter(bctx, func(ctx context.Context, c *serve.Client) (interface{}, error) {
 		var out serve.SearchBatchResponse
 		if err := c.DoRetry(ctx, http.MethodPost, "/v1/search_batch", shardReq, &out, r.retryPolicy()); err != nil {
 			return nil, err
@@ -489,6 +530,9 @@ type DeleteResponse struct {
 // StatsResponse answers GET /v1/stats on the router.
 type StatsResponse struct {
 	Cluster apknn.ClusterStats `json:"cluster"`
+	// Latency maps stable metric names (the same ones GET /metrics exports)
+	// to quantile summaries; metrics with no samples yet are omitted.
+	Latency map[string]apknn.LatencySummary `json:"latency,omitempty"`
 }
 
 // broadcastOutcome is one replica's answer to a best-effort write.
@@ -513,6 +557,7 @@ func (r *Router) broadcast(ctx context.Context, set *shardSet,
 			if err != nil && transportFailure(err) {
 				if rep.healthy.Swap(false) {
 					r.ctrs.ejected.Add(1)
+					r.logHealth("replica ejected", rep, err)
 				}
 			}
 			outs[i] = broadcastOutcome{rep: rep, id: id, err: err}
@@ -629,7 +674,7 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	}
 	st := r.Stats()
 	st.PerNode = r.perNode(req.Context())
-	serve.WriteJSON(w, http.StatusOK, StatsResponse{Cluster: st})
+	serve.WriteJSON(w, http.StatusOK, StatsResponse{Cluster: st, Latency: serve.LatencySummaries()})
 }
 
 // perNode fetches every replica's stats concurrently; a node that cannot be

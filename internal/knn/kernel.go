@@ -22,9 +22,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aperr"
 	"repro/internal/bitvec"
+	"repro/internal/obs"
+)
+
+// The kernel's latency histograms: the scan itself and the merge of
+// per-shard partials, separated so a regression in either shows up as its
+// own series rather than folded into an aggregate. Record costs two
+// monotonic reads and a few atomic adds per entry-point call — noise next
+// to even the smallest full-dataset scan.
+var (
+	scanHist = obs.NewHistogram("apknn_kernel_scan_seconds",
+		"Blocked Hamming-scan kernel latency per Scan/ScanBatch call")
+	mergeHist = obs.NewHistogram("apknn_kernel_merge_seconds",
+		"Per-shard partial top-k merge latency per parallel scan")
 )
 
 // ScanConfig tunes the kernel. The zero value auto-sizes everything: one
@@ -382,9 +396,11 @@ func Scan(ds *bitvec.Dataset, q bitvec.Vector, k int, cfg ScanConfig) ([]Neighbo
 	qw := q.Words()
 	block := cfg.effectiveBlock(wordsPV)
 	workers := cfg.effectiveWorkers(n)
+	start := time.Now()
 	if workers == 1 {
 		t := NewTopK(k)
 		scanRange(t, words, wordsPV, qw, 0, n, block)
+		scanHist.Record(time.Since(start))
 		return t.Neighbors(), nil
 	}
 	parts := shardRanges(n, workers)
@@ -400,10 +416,13 @@ func Scan(ds *bitvec.Dataset, q bitvec.Vector, k int, cfg ScanConfig) ([]Neighbo
 		}(w, p[0], p[1])
 	}
 	wg.Wait()
+	scanHist.Record(time.Since(start))
+	mergeStart := time.Now()
 	merged := partials[0]
 	for _, r := range partials[1:] {
 		merged = MergeTopK(merged, r, k)
 	}
+	mergeHist.Record(time.Since(mergeStart))
 	return merged, nil
 }
 
@@ -449,6 +468,7 @@ func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector,
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	start := time.Now()
 	if workers <= 1 {
 		for i, q := range queries {
 			if err := ctx.Err(); err != nil {
@@ -458,6 +478,7 @@ func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector,
 			scanRange(t, words, wordsPV, q.Words(), 0, n, block)
 			out[i] = t.Neighbors()
 		}
+		scanHist.Record(time.Since(start))
 		return out, nil
 	}
 
@@ -493,6 +514,7 @@ func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector,
 		if err := ctx.Err(); err != nil {
 			return nil, aperr.Canceled(err)
 		}
+		scanHist.Record(time.Since(start))
 		return out, nil
 	}
 
@@ -543,6 +565,8 @@ func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector,
 	if err := ctx.Err(); err != nil {
 		return nil, aperr.Canceled(err)
 	}
+	scanHist.Record(time.Since(start))
+	mergeStart := time.Now()
 	for qi := range queries {
 		merged := partials[0][qi]
 		for _, part := range partials[1:] {
@@ -550,5 +574,6 @@ func ScanBatch(ctx context.Context, ds *bitvec.Dataset, queries []bitvec.Vector,
 		}
 		out[qi] = merged
 	}
+	mergeHist.Record(time.Since(mergeStart))
 	return out, nil
 }

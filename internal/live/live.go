@@ -13,9 +13,16 @@ import (
 	"repro/internal/aperr"
 	"repro/internal/bitvec"
 	"repro/internal/knn"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/wal"
 )
+
+// deltaScanHist is the wall-clock cost of the exact delta-segment scans a
+// mixed search pays on top of the compiled base — the latency churn adds
+// between compactions.
+var deltaScanHist = obs.NewHistogram("apknn_live_delta_scan_seconds",
+	"Exact delta-segment scan latency per mixed live search")
 
 // Searcher is the compiled-base contract the engine needs from a backend
 // index: batched search with the shared (Dist, ID) tie-break, the modeled
@@ -351,12 +358,14 @@ func (x *Index) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][
 		}
 	}
 	if v.delta.Len() > 0 {
+		scanStart := time.Now()
 		for qi, q := range queries {
 			if err := ctx.Err(); err != nil {
 				return nil, aperr.Canceled(err)
 			}
 			results[qi] = knn.MergeTopK(results[qi], v.scanDelta(q, k), k)
 		}
+		deltaScanHist.Record(time.Since(scanStart))
 		x.deltaScanNS.Add(int64(x.opts.ScanCost(v.delta.Len(), len(queries), x.dim)))
 	}
 	if v.base == nil {

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the bucket geometry: every boundary value maps
+// into a bucket whose [lower, upper] range contains it, indexes are
+// monotone, and the relative bucket width never exceeds 2^-subBits.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 1000, 1e6, 1e9, 1e12, math.MaxInt64}
+	prev := -1
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if lo, hi := bucketLower(i), bucketUpper(i); v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d]", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+	}
+	for i := 0; i < numBuckets-1; i++ {
+		if bucketLower(i+1) != bucketUpper(i)+1 {
+			t.Fatalf("gap between bucket %d upper %d and %d lower %d",
+				i, bucketUpper(i), i+1, bucketLower(i+1))
+		}
+		lo, hi := bucketLower(i), bucketUpper(i)
+		if lo >= subCount && float64(hi-lo+1)/float64(lo) > 1.0/subCount+1e-9 {
+			t.Fatalf("bucket %d = [%d, %d] wider than 1/%d relative", i, lo, hi, subCount)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != numBuckets-1 {
+		t.Fatalf("MaxInt64 lands on bucket %d, want the last bucket %d", got, numBuckets-1)
+	}
+}
+
+// oracleQuantile is the sorted-sample reference the histogram estimate is
+// judged against: the ceil(q*n)-th smallest sample (1-based, rounded), the
+// same rank rule Snapshot.Quantile targets.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	rank := int64(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int64(len(sorted)) {
+		rank = int64(len(sorted))
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantilesAgainstOracle drives the histogram with several sample
+// distributions and requires every estimated quantile to sit within one
+// bucket width (2/subCount relative) of the exact sorted-sample answer.
+func TestQuantilesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"lognormal": func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 10)) },
+		"constant":  func() int64 { return 12345 },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return 5_000_000 + rng.Int63n(1000) // the straggler mode
+			}
+			return 1000 + rng.Int63n(100)
+		},
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			h := newHistogram("test", "")
+			samples := make([]int64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := draw()
+				samples = append(samples, v)
+				h.RecordNS(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			s := h.Snapshot()
+			if s.Count != int64(len(samples)) {
+				t.Fatalf("count %d, want %d", s.Count, len(samples))
+			}
+			if s.Max != samples[len(samples)-1] {
+				t.Fatalf("max %d, want %d", s.Max, samples[len(samples)-1])
+			}
+			for _, q := range quantiles {
+				got := s.Quantile(q)
+				want := oracleQuantile(samples, q)
+				// One log-linear bucket of slack either side.
+				tol := int64(float64(want)*2/subCount) + 2
+				if got < want-tol || got > want+tol {
+					t.Errorf("q%.3f = %d, oracle %d (tol %d)", q, got, want, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeAssociativity splits one sample stream into three shards and
+// checks that any merge order reproduces the unsharded histogram exactly —
+// the property the cluster tier's scatter-gather aggregation relies on.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := newHistogram("whole", "")
+	parts := []*Histogram{newHistogram("a", ""), newHistogram("b", ""), newHistogram("c", "")}
+	for i := 0; i < 30000; i++ {
+		v := int64(rng.ExpFloat64() * 123456)
+		whole.RecordNS(v)
+		parts[i%3].RecordNS(v)
+	}
+	a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	want := whole.Snapshot()
+	for name, got := range map[string]Snapshot{"left": left, "right": right} {
+		if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+			t.Fatalf("%s merge: count/sum/max (%d,%d,%d) want (%d,%d,%d)",
+				name, got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("%s merge: bucket %d = %d, want %d", name, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+	// Identity: merging with an empty snapshot changes nothing.
+	if got := want.Merge(Snapshot{}); got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("merge with zero snapshot changed count/sum")
+	}
+}
+
+// TestConcurrentRecordSnapshot is the -race hammer: many goroutines record
+// while others snapshot; every recorded sample must be accounted for at the
+// end, and mid-flight snapshots must be internally consistent enough to
+// never exceed the true totals.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	const (
+		writers     = 8
+		perWriter   = 5000
+		snapshoters = 4
+	)
+	h := newHistogram("hammer", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < snapshoters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				var buckets int64
+				for _, c := range snap.Counts {
+					buckets += c
+				}
+				// count is added after the bucket, so a mid-flight snapshot
+				// may see more bucket entries than count — never fewer.
+				if buckets < snap.Count {
+					t.Errorf("snapshot tore: %d bucket entries < count %d", buckets, snap.Count)
+					return
+				}
+				_ = snap.Quantile(0.99)
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				h.RecordNS(rng.Int63n(1_000_000))
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if want := int64(writers * perWriter); final.Count != want {
+		t.Fatalf("final count %d, want %d", final.Count, want)
+	}
+}
+
+// TestRegistryGetOrCreate pins the sharing semantics: same name, same
+// histogram; and Summaries omits series that never recorded.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("x_seconds", "help")
+	b := r.Histogram("x_seconds", "other help ignored")
+	if a != b {
+		t.Fatal("same name returned distinct histograms")
+	}
+	r.Histogram("empty_seconds", "")
+	a.Record(3 * time.Millisecond)
+	sums := r.Summaries()
+	if _, ok := sums["empty_seconds"]; ok {
+		t.Fatal("empty histogram reported a summary")
+	}
+	s, ok := sums["x_seconds"]
+	if !ok || s.Count != 1 || s.MaxNS != int64(3*time.Millisecond) {
+		t.Fatalf("summary = %+v, ok=%v", s, ok)
+	}
+}
+
+// TestPrometheusExposition checks the wire format: HELP/TYPE headers,
+// cumulative monotone buckets ending at +Inf == _count, and seconds units.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("apknn_test_seconds", "test histogram")
+	h.Record(1 * time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	h.Record(1 * time.Second)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP apknn_test_seconds test histogram",
+		"# TYPE apknn_test_seconds histogram",
+		`apknn_test_seconds_bucket{le="+Inf"} 3`,
+		"apknn_test_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing.
+	var last int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "apknn_test_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+	if last != 3 {
+		t.Fatalf("last bucket %d, want 3", last)
+	}
+}

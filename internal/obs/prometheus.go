@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4) writers. Histogram samples are
+// recorded in nanoseconds but exposed in seconds with float `le` bounds, the
+// Prometheus convention for latency series; only non-empty buckets are
+// emitted (plus the mandatory +Inf), which is valid exposition — bucket
+// bounds just have to be increasing and cumulative, not exhaustive.
+
+// secs formats a nanosecond count as the shortest float-seconds literal.
+func secs(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WriteHistogram writes one histogram family: HELP/TYPE header, cumulative
+// non-empty buckets, the +Inf bucket, _sum and _count.
+func WriteHistogram(w io.Writer, s Snapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", s.Name, s.Help, s.Name)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, secs(bucketUpper(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, s.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", s.Name, secs(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", s.Name, s.Count)
+}
+
+// WriteCounter writes one unlabeled counter family.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// LabeledValue is one (label value, sample) pair of a labeled family.
+type LabeledValue struct {
+	Value string
+	Count int64
+}
+
+// WriteCounterVec writes a counter family with one label dimension, e.g.
+// per-shard leg counts.
+func WriteCounterVec(w io.Writer, name, help, label string, vals []LabeledValue) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, v := range vals {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, v.Value, v.Count)
+	}
+}
+
+// WriteGauge writes one unlabeled gauge family.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WritePrometheus writes every registered histogram in name order — the
+// shared half of both /metrics handlers; each handler appends its own
+// counters and gauges after this.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, s := range r.Snapshots() {
+		WriteHistogram(w, s)
+	}
+}
+
+// MetricsContentType is the exposition format version both /metrics
+// handlers declare.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SetMetricsHeaders marks a response as Prometheus text exposition.
+func SetMetricsHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", MetricsContentType)
+}

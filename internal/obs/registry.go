@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry holds named histograms. Registration is GetOrCreate by name: two
+// packages (or two servers in one process) asking for the same metric share
+// one histogram, exactly how one process exports one Prometheus series.
+type Registry struct {
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry. Most callers use Default.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*Histogram)}
+}
+
+// Default is the process-wide registry both /metrics handlers expose and
+// /v1/stats summarizes.
+var Default = NewRegistry()
+
+// Histogram returns the histogram registered under name, creating it with
+// the given help text on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(name, help)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NewHistogram registers (or fetches) name on the Default registry — the
+// one-liner package-level metric declarations use.
+func NewHistogram(name, help string) *Histogram {
+	return Default.Histogram(name, help)
+}
+
+// Snapshots returns a name-sorted snapshot of every registered histogram.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.RLock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	out := make([]Snapshot, len(hists))
+	for i, h := range hists {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// Summaries condenses every registered histogram that has recorded at least
+// one sample into its /v1/stats quantile block, keyed by metric name.
+// Metrics that never fired are omitted so a static apserve's stats block
+// does not list empty WAL or cluster series.
+func (r *Registry) Summaries() map[string]Summary {
+	out := make(map[string]Summary)
+	for _, s := range r.Snapshots() {
+		if s.Count == 0 {
+			continue
+		}
+		out[s.Name] = s.Summary()
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header request identity travels in: apserve
+// assigns one when the caller didn't, aprouter forwards the caller's on
+// every scatter leg, and both echo it on the response — so one ID names a
+// request across the whole cluster and ties the shard-side slow-query log
+// line back to the caller.
+const RequestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	traceKey
+)
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// constant rather than panicking on a telemetry path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to the context; Client.do forwards it
+// upstream as the RequestIDHeader.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, "" when none was attached.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// Stage is one named timing inside a request's span breakdown.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace is the per-request span recorder: the handler creates one, every
+// tier the request crosses observes its stage into it, and the slow-query
+// log prints the assembled breakdown. Observe and Stages are safe for
+// concurrent use (a flush goroutine records backend time while the handler
+// goroutine waits); a nil *Trace ignores every call, so deep layers can
+// observe unconditionally.
+type Trace struct {
+	ID    string
+	Start time.Time
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// StartTrace begins a span for one request.
+func StartTrace(id string) *Trace {
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// Observe appends one stage timing. Nil-safe.
+func (t *Trace) Observe(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: stage, Dur: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in observation order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+// Attrs renders the span as slog attributes — request_id, total, then one
+// attribute per stage — the one line format of the slow-query log.
+func (t *Trace) Attrs(total time.Duration) []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String("request_id", t.ID),
+		slog.Duration("total", total),
+	}
+	for _, s := range t.Stages() {
+		attrs = append(attrs, slog.Duration("stage_"+s.Name, s.Dur))
+	}
+	return attrs
+}
+
+// WithTrace attaches a span recorder to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's span recorder, nil (safe to Observe on)
+// when the request is not being traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}

@@ -9,6 +9,7 @@ import (
 
 	apknn "repro"
 	"repro/internal/aperr"
+	"repro/internal/obs"
 )
 
 // errClosed reports a submit racing a graceful shutdown; the handler maps
@@ -23,6 +24,11 @@ type request struct {
 	// resp receives exactly one response; buffered so a flush never blocks
 	// on a handler that already hung up.
 	resp chan response
+	// enqueued marks submission time; the flush subtracts it to charge each
+	// member its queue wait.
+	enqueued time.Time
+	// trace is the request's span recorder; nil when untraced.
+	trace *obs.Trace
 }
 
 type response struct {
@@ -205,6 +211,7 @@ func (b *batcher) dispatch(reqs []*request, cause flushCause) {
 // values; the flush searches for the largest and trims each response back
 // down — the top-k of a larger k is exactly the top-k of the smaller.
 func (b *batcher) runFlush(reqs []*request, cause flushCause) {
+	flushStart := time.Now()
 	// Members whose context ended while queued get their error now; their
 	// handlers have long since returned, so don't spend board time on them.
 	live := make([]*request, 0, len(reqs))
@@ -218,6 +225,19 @@ func (b *batcher) runFlush(reqs []*request, cause flushCause) {
 	}
 	if len(live) == 0 {
 		return
+	}
+	// Queue wait is charged per member; assembly once per flush, measured
+	// from the batch's first enqueue — how long the window held the batch
+	// open before the backend saw it.
+	for _, r := range live {
+		if !r.enqueued.IsZero() {
+			wait := flushStart.Sub(r.enqueued)
+			queueHist.Record(wait)
+			r.trace.Observe("queue_wait", wait)
+		}
+	}
+	if first := live[0].enqueued; !first.IsZero() {
+		assemblyHist.Record(flushStart.Sub(first))
 	}
 	b.ctrs.flushes.Add(1)
 	switch cause {
@@ -243,7 +263,13 @@ func (b *batcher) runFlush(reqs []*request, cause flushCause) {
 	}
 	ctx, cancel := batchContext(live)
 	defer cancel()
+	backendStart := time.Now()
 	results, err := b.idx.Search(ctx, queries, maxK)
+	backendDur := time.Since(backendStart)
+	backendHist.Record(backendDur)
+	for _, r := range live {
+		r.trace.Observe("backend", backendDur)
+	}
 	for i, r := range live {
 		if err != nil {
 			// A shared-batch failure reaches every rider, but a rider whose

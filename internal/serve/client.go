@@ -13,6 +13,7 @@ import (
 	"time"
 
 	apknn "repro"
+	"repro/internal/obs"
 )
 
 // ErrSaturated reports a request refused by the server's admission control
@@ -243,6 +244,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// A request ID attached to the context travels upstream — this is how
+	// aprouter's scatter legs carry the caller's ID to every shard.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

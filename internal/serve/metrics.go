@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	apknn "repro"
+	"repro/internal/obs"
+)
+
+// The serving tier's latency histograms. All of them live on obs.Default, so
+// GET /metrics and the /v1/stats latency block read the same series the hot
+// path records into.
+var (
+	// searchHist is the end-to-end /v1/search handler latency: admission,
+	// queue wait, flush, response write — what the client actually waited.
+	searchHist = obs.NewHistogram("apknn_serve_search_seconds",
+		"End-to-end /v1/search request latency")
+	// searchBatchHist is the end-to-end /v1/search_batch handler latency.
+	searchBatchHist = obs.NewHistogram("apknn_serve_search_batch_seconds",
+		"End-to-end /v1/search_batch request latency")
+	// queueHist is each coalesced request's wait between submission and its
+	// flush starting — the latency cost the batch window charges per query.
+	queueHist = obs.NewHistogram("apknn_serve_queue_seconds",
+		"Micro-batcher queue wait per coalesced request")
+	// assemblyHist is each flush's assembly span: first member enqueued to
+	// flush dispatch — how long the batch took to form.
+	assemblyHist = obs.NewHistogram("apknn_serve_flush_assembly_seconds",
+		"Micro-batch assembly time from first enqueue to flush dispatch")
+	// backendHist is the coalesced Index.Search call itself.
+	backendHist = obs.NewHistogram("apknn_serve_backend_seconds",
+		"Backend Index.Search latency per micro-batch flush")
+)
+
+// LatencySummaries condenses every metric that has recorded at least one
+// sample into the /v1/stats latency block.
+func LatencySummaries() map[string]apknn.LatencySummary {
+	sums := obs.Default.Summaries()
+	out := make(map[string]apknn.LatencySummary, len(sums))
+	for name, s := range sums {
+		out[name] = apknn.LatencySummary{
+			Count: s.Count, MeanNS: s.MeanNS,
+			P50NS: s.P50NS, P90NS: s.P90NS, P99NS: s.P99NS, MaxNS: s.MaxNS,
+		}
+	}
+	return out
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition: every
+// histogram on the default registry, then the serving-layer counters. The
+// counters are the same atomics /v1/stats snapshots — one source of truth,
+// two surfaces.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	obs.SetMetricsHeaders(w)
+	obs.Default.WritePrometheus(w)
+	st := s.ctrs.snapshot()
+	obs.WriteCounter(w, "apknn_serve_requests_total",
+		"Requests admitted into the micro-batcher via /v1/search", st.Requests)
+	obs.WriteCounter(w, "apknn_serve_batch_requests_total",
+		"Client-formed batches served via /v1/search_batch", st.BatchRequests)
+	obs.WriteCounter(w, "apknn_serve_coalesced_total",
+		"Requests that shared a flush with at least one other request", st.Coalesced)
+	obs.WriteCounter(w, "apknn_serve_flushes_total",
+		"Coalesced backend calls issued by the micro-batcher", st.Flushes)
+	obs.WriteCounter(w, "apknn_serve_rejected_total",
+		"Requests refused with 429 by admission control", st.Rejected)
+	obs.WriteCounter(w, "apknn_serve_expired_total",
+		"Requests whose context ended while queued", st.Expired)
+	obs.WriteCounter(w, "apknn_serve_inserts_total",
+		"Vectors accepted via /v1/insert", st.Inserts)
+	obs.WriteCounter(w, "apknn_serve_deletes_total",
+		"Tombstones accepted via /v1/delete", st.Deletes)
+	bst := s.idx.Stats()
+	obs.WriteCounter(w, "apknn_backend_queries_total",
+		"Queries answered by the backend index", bst.Queries)
+	obs.WriteCounter(w, "apknn_backend_batches_total",
+		"Batches answered by the backend index", bst.Batches)
+	obs.WriteGauge(w, "apknn_serve_inflight",
+		"Requests currently holding an admission slot", float64(len(s.inflight)))
+}
+
+// observeRequest finishes one traced request: the end-to-end histogram
+// record and, when the request overran the configured threshold, one
+// structured slow-query line with the full stage breakdown.
+func (s *Server) observeRequest(h *obs.Histogram, tr *obs.Trace, start time.Time) {
+	total := time.Since(start)
+	h.Record(total)
+	lg := s.cfg.SlowQueryLog
+	if lg == nil || total < s.cfg.SlowQuery {
+		return
+	}
+	lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", tr.Attrs(total)...)
+}
+
+// ensureRequestID reads the caller's request ID, assigns a fresh one when
+// the header is absent, and echoes it on the response — so every answer
+// names the ID that will appear in any slow-query log line it produced.
+func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, id)
+	return id
+}

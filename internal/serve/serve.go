@@ -17,12 +17,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	apknn "repro"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with the defaults below.
@@ -56,6 +58,14 @@ type Config struct {
 	// block; an index that exposes Len() (a live index) reports its current
 	// size instead.
 	Vectors int
+	// SlowQueryLog, when non-nil, receives one structured record per request
+	// whose end-to-end latency is at least SlowQuery, carrying the request ID
+	// and the full per-stage breakdown. Nil disables slow-query logging (the
+	// zero-value Config stays silent).
+	SlowQueryLog *slog.Logger
+	// SlowQuery is the slow-query threshold. With SlowQueryLog set, zero
+	// means every request is logged — the trace-everything setting.
+	SlowQuery time.Duration
 }
 
 // DefaultBatchWindow is the flush deadline used when Config.BatchWindow is
@@ -125,6 +135,7 @@ func New(idx apknn.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -178,6 +189,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	start := time.Now()
+	tr := obs.StartTrace(ensureRequestID(w, r))
+	defer s.observeRequest(searchHist, tr, start)
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -208,13 +222,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := r.Context()
+	ctx := obs.WithRequestID(r.Context(), tr.ID)
 	if body.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	req := &request{ctx: ctx, query: q, k: k, resp: make(chan response, 1)}
+	req := &request{ctx: ctx, query: q, k: k, resp: make(chan response, 1),
+		enqueued: time.Now(), trace: tr}
 	if err := s.batcher.submit(req); err != nil {
 		if errors.Is(err, errClosed) {
 			WriteError(w, http.StatusServiceUnavailable, err.Error())
@@ -247,6 +262,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	start := time.Now()
+	tr := obs.StartTrace(ensureRequestID(w, r))
+	defer s.observeRequest(searchBatchHist, tr, start)
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -281,7 +299,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = s.cfg.DefaultK
 	}
-	results, err := s.idx.Search(r.Context(), queries, k)
+	backendStart := time.Now()
+	results, err := s.idx.Search(obs.WithRequestID(r.Context(), tr.ID), queries, k)
+	backendDur := time.Since(backendStart)
+	backendHist.Record(backendDur)
+	tr.Observe("backend", backendDur)
 	if err != nil {
 		WriteError(w, statusFor(err), err.Error())
 		return
@@ -379,6 +401,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Serving:       s.ctrs.snapshot(),
 		ModeledTimeNS: int64(s.idx.ModeledTime()),
 		Node:          s.nodeInfo(),
+		Latency:       LatencySummaries(),
 	})
 }
 

@@ -116,6 +116,9 @@ type StatsResponse struct {
 	// Node identifies this server within a cluster; present when the server
 	// was configured with a NodeID.
 	Node *NodeInfo `json:"node,omitempty"`
+	// Latency maps stable metric names (the same ones GET /metrics exports)
+	// to quantile summaries; metrics with no samples yet are omitted.
+	Latency map[string]apknn.LatencySummary `json:"latency,omitempty"`
 }
 
 // HealthResponse answers GET /healthz.

@@ -49,9 +49,22 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aperr"
 	"repro/internal/bitvec"
+	"repro/internal/obs"
+)
+
+// The durability tier's latency histograms: how long acknowledged mutations
+// wait on the log. Fsync dominates under SyncAlways — these two series are
+// what separates "the disk is slow" from "the scan is slow" when a live
+// index's insert latency moves.
+var (
+	appendHist = obs.NewHistogram("apknn_wal_append_seconds",
+		"WAL record append latency including any policy-driven fsync")
+	fsyncHist = obs.NewHistogram("apknn_wal_fsync_seconds",
+		"WAL fsync latency per sync call")
 )
 
 // Magic is the four-byte file signature of the write-ahead log format.
@@ -361,6 +374,7 @@ func decode(p []byte, wordsPV int) (Record, error) {
 // policy is SyncAlways. The record is durable (per policy) when Append
 // returns; callers publish the mutation to readers only after that.
 func (l *Log) Append(rec Record) error {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -380,11 +394,14 @@ func (l *Log) Append(rec Record) error {
 	l.bytes.Add(int64(len(payload)))
 	l.size.Add(int64(len(payload)))
 	if l.policy == SyncAlways {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		fsyncHist.Record(time.Since(syncStart))
 		l.fsyncs.Add(1)
 	}
+	appendHist.Record(time.Since(start))
 	return nil
 }
 
@@ -427,9 +444,11 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return fmt.Errorf("wal: sync: %w", aperr.ErrClosed)
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	fsyncHist.Record(time.Since(start))
 	l.fsyncs.Add(1)
 	return nil
 }

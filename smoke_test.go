@@ -233,6 +233,20 @@ func TestSmokeDatasetSaveLoad(t *testing.T) {
 // TestSmokeApserveLive boots apserve -live and drives the mutation
 // lifecycle over real HTTP: insert a vector, find it at distance zero,
 // delete it, and confirm it stops appearing.
+// logAddr extracts the addr= attribute from a structured (slog text) boot
+// line whose msg= matches, "" for any other line — how the smoke tests learn
+// the port a ":0" listener actually bound.
+func logAddr(line, msg string) string {
+	if !strings.Contains(line, "msg="+msg) {
+		return ""
+	}
+	i := strings.Index(line, "addr=")
+	if i < 0 {
+		return ""
+	}
+	return strings.Fields(line[i+len("addr="):])[0]
+}
+
 func TestSmokeApserveLive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests build binaries; skipped in -short")
@@ -257,8 +271,8 @@ func TestSmokeApserveLive(t *testing.T) {
 	for sc.Scan() {
 		line := sc.Text()
 		logs.WriteString(line + "\n")
-		if i := strings.Index(line, "serving on "); i >= 0 {
-			addr = strings.Fields(line[i+len("serving on "):])[0]
+		if a := logAddr(line, "serving"); a != "" {
+			addr = a
 			break
 		}
 	}
@@ -371,8 +385,8 @@ func TestSmokeApserve(t *testing.T) {
 	for sc.Scan() {
 		line := sc.Text()
 		logs.WriteString(line + "\n")
-		if i := strings.Index(line, "serving on "); i >= 0 {
-			addr = strings.Fields(line[i+len("serving on "):])[0]
+		if a := logAddr(line, "serving"); a != "" {
+			addr = a
 			break
 		}
 	}
@@ -467,7 +481,7 @@ func TestSmokeApserve(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("apserve did not drain after SIGTERM\n%s", logs.String())
 	}
-	if !strings.Contains(logs.String(), "served 1 requests") {
+	if !strings.Contains(logs.String(), "msg=stopped") || !strings.Contains(logs.String(), "requests=1") {
 		t.Errorf("final drain log missing served-requests line:\n%s", logs.String())
 	}
 }
@@ -620,8 +634,8 @@ func startServeNode(t *testing.T, bin string, args ...string) (string, *exec.Cmd
 	for sc.Scan() {
 		line := sc.Text()
 		logs.WriteString(line + "\n")
-		if i := strings.Index(line, "serving on "); i >= 0 {
-			addr = strings.Fields(line[i+len("serving on "):])[0]
+		if a := logAddr(line, "serving"); a != "" {
+			addr = a
 			break
 		}
 	}
@@ -691,8 +705,8 @@ func TestSmokeAprouter(t *testing.T) {
 	for rsc.Scan() {
 		line := rsc.Text()
 		logLine(line)
-		if i := strings.Index(line, " on 127."); i >= 0 && strings.Contains(line, "routing") {
-			raddr = strings.Fields(line[i+len(" on "):])[0]
+		if a := logAddr(line, "routing"); a != "" {
+			raddr = a
 			break
 		}
 	}

@@ -152,6 +152,22 @@ type ServingStats struct {
 	MeanBatch float64 `json:"mean_batch"`
 }
 
+// LatencySummary is one metric's quantile block inside the "latency" map of
+// /v1/stats, on both apserve and aprouter: the count, mean, p50/p90/p99 and
+// max of a server-side latency histogram, in nanoseconds. The map is keyed
+// by the same stable metric names GET /metrics exports (apknn_*_seconds), so
+// a dashboard can correlate the two surfaces; metrics that have not recorded
+// a sample yet are omitted. Quantiles are log-bucket estimates with ≤6%
+// relative error (see internal/obs).
+type LatencySummary struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
 // ClusterStats is the routing-tier snapshot of a multi-node cluster
 // (internal/cluster, cmd/aprouter): scatter-gather, replication and hedging
 // counters, plus a per-node block attributing shard-local numbers fetched
