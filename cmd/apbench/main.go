@@ -2,7 +2,7 @@
 // paper's evaluation section, printing published-vs-reproduced comparisons.
 //
 //	apbench -table 4          # one table (1-8)
-//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, hotpath)
+//	apbench -exp util         # a named experiment (util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, overload, hotpath)
 //	apbench -all              # everything
 //	apbench -exp churn -json bench.json   # also emit machine-readable results
 //	apbench -exp hotpath -cpuprofile cpu.pprof   # profile the scan kernel
@@ -78,6 +78,15 @@ type benchRecord struct {
 	// RecoveryNS is the total close-to-serving reopen time: snapshot load,
 	// replay, base compile.
 	RecoveryNS *int64 `json:"recovery_ns,omitempty"`
+	// TargetP99NS is the overload cell's SLO target (0 for static cells).
+	TargetP99NS *int64 `json:"target_p99_ns,omitempty"`
+	// ObservedP99NS is the queue-wait p99 over the overload hold phase —
+	// the tail the adaptive controller was asked to hold under the target.
+	ObservedP99NS *int64 `json:"observed_p99_ns,omitempty"`
+	// ShedRate is the fraction of overload arrivals refused with 429.
+	ShedRate *float64 `json:"shed_rate,omitempty"`
+	// GoodputQPS is successful overload answers per wall-clock second.
+	GoodputQPS *float64 `json:"goodput_qps,omitempty"`
 }
 
 func fptr(v float64) *float64 { return &v }
@@ -108,7 +117,7 @@ func record(r benchRecord) {
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1-8)")
-	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, hotpath")
+	exp := flag.String("exp", "", "named experiment: util, bandwidth, packing, mux, shard, backends, serve, churn, cluster, overload, hotpath")
 	all := flag.Bool("all", false, "run every table and experiment")
 	runs := flag.Int("runs", 100, "Monte Carlo repetitions for Table VI")
 	jsonPath := flag.String("json", "", "also write machine-readable results (schema apbench/v1) to this path")
@@ -156,7 +165,7 @@ func main() {
 		for t := 1; t <= 8; t++ {
 			runTable(t, *runs)
 		}
-		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn", "cluster", "hotpath"} {
+		for _, e := range []string{"util", "bandwidth", "packing", "mux", "shard", "backends", "serve", "churn", "cluster", "overload", "hotpath"} {
 			runExperiment(e)
 		}
 	case *table != 0:
@@ -294,6 +303,8 @@ func runExperiment(name string) {
 		churnExperiment()
 	case "cluster":
 		clusterExperiment()
+	case "overload":
+		overloadExperiment()
 	case "hotpath":
 		hotpathExperiment()
 	default:

@@ -47,6 +47,7 @@ func main() {
 	manifestPath := flag.String("manifest", "", "load the cluster manifest (explicit bases) from this JSON file instead of -shards")
 	writeManifest := flag.String("write-manifest", "", "record the resolved manifest to this JSON file at boot")
 	hedge := flag.Duration("hedge", 5*time.Millisecond, "hedged reads: fire a second replica after this delay (0 disables)")
+	adaptiveHedge := flag.Bool("adaptive-hedge", false, "derive each leg's hedge delay from the primary replica's windowed p99 once it has samples; -hedge is the warm-up fallback")
 	probeInterval := flag.Duration("probe-interval", time.Second, "replica health-check period")
 	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe time budget")
 	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
@@ -107,6 +108,7 @@ func main() {
 
 	cfg := cluster.Config{
 		HedgeDelay:    *hedge,
+		AdaptiveHedge: *adaptiveHedge,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		DefaultK:      *defaultK,
@@ -144,7 +146,8 @@ func main() {
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logger.Info("routing",
 		"addr", ln.Addr().String(), "shards", len(m.Shards),
-		"hedge", *hedge, "probe_interval", *probeInterval)
+		"hedge", *hedge, "adaptive_hedge", *adaptiveHedge,
+		"probe_interval", *probeInterval)
 
 	select {
 	case err := <-errCh:

@@ -70,6 +70,8 @@ func main() {
 	window := flag.Duration("batch-window", serve.DefaultBatchWindow,
 		"micro-batch flush deadline; 0 disables coalescing")
 	maxInFlight := flag.Int("max-inflight", 256, "admission control: concurrent requests before 429")
+	maxFlushes := flag.Int("max-flushes", 0, "backend execution slots: concurrent micro-batch flushes (0 = unbounded); waiting for a slot counts as queue wait")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO-adaptive admission: hold the windowed queue-wait p99 under this target by shedding load early (0 = static -max-inflight gate)")
 	defaultK := flag.Int("k", 10, "neighbors returned when a request omits k")
 	nodeID := flag.String("node-id", "", "cluster identity reported in the /v1/stats node block (default: the listen address)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
@@ -187,14 +189,16 @@ func main() {
 		vectors = liveIdx.Len() // recovery may have diverged from the seed
 	}
 	cfg := serve.Config{
-		MaxBatch:    *maxBatch,
-		BatchWindow: *window,
-		MaxInFlight: *maxInFlight,
-		DefaultK:    *defaultK,
-		Dim:         ds.Dim(),
-		NodeID:      id,
-		Addr:        ln.Addr().String(),
-		Vectors:     vectors,
+		MaxBatch:             *maxBatch,
+		BatchWindow:          *window,
+		MaxInFlight:          *maxInFlight,
+		MaxConcurrentFlushes: *maxFlushes,
+		SLOTargetP99:         *sloP99,
+		DefaultK:             *defaultK,
+		Dim:                  ds.Dim(),
+		NodeID:               id,
+		Addr:                 ln.Addr().String(),
+		Vectors:              vectors,
 	}
 	if *slowQuery >= 0 {
 		cfg.SlowQueryLog = logger
@@ -214,7 +218,8 @@ func main() {
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logger.Info("serving",
 		"addr", ln.Addr().String(), "batch_cap", *maxBatch,
-		"window", *window, "max_inflight", *maxInFlight)
+		"window", *window, "max_inflight", *maxInFlight,
+		"slo_p99", *sloP99)
 
 	select {
 	case err := <-errCh:

@@ -43,6 +43,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	obs.SetMetricsHeaders(w)
 	obs.Default.WritePrometheus(w)
+	obs.Default.WriteWindowed(w, time.Now())
 	st := r.Stats()
 	obs.WriteCounter(w, "apknn_cluster_searches_total",
 		"Searches routed via /v1/search", st.Searches)

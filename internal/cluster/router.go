@@ -13,6 +13,7 @@ import (
 	"time"
 
 	apknn "repro"
+	"repro/internal/heat"
 	"repro/internal/knn"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -26,6 +27,12 @@ type Config struct {
 	// disables hedging. Set it near the fleet's p99 so only straggling
 	// requests pay the duplicate work.
 	HedgeDelay time.Duration
+	// AdaptiveHedge derives each leg's hedge delay from the primary
+	// replica's own windowed (last-minute) leg p99 instead of the static
+	// HedgeDelay, once that replica has enough recent samples; until then
+	// HedgeDelay applies (so zero HedgeDelay + AdaptiveHedge hedges nothing
+	// during warm-up, then tracks the replica).
+	AdaptiveHedge bool
 	// ProbeInterval is the background health-check period per replica
 	// (default 1s; negative disables the prober — useful in tests that
 	// drive probes explicitly).
@@ -120,6 +127,7 @@ func New(m *Manifest, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("/v1/insert", r.handleInsert)
 	r.mux.HandleFunc("/v1/delete", r.handleDelete)
 	r.mux.HandleFunc("/v1/stats", r.handleStats)
+	r.mux.HandleFunc("/v1/analytics", r.handleAnalytics)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
 	r.mux.HandleFunc("/metrics", r.handleMetrics)
 	probeCtx, cancel := context.WithCancel(context.Background())
@@ -254,13 +262,27 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 			leg := time.Since(launched)
 			legHist.Record(leg)
 			tr.Observe(stage, leg)
+			if err == nil {
+				// Successful legs feed the replica's latency EWMA and its
+				// windowed series — the signal candidate ordering and
+				// adaptive hedging read. Failures are scored separately
+				// (transport penalties below); canceled hedge losers are
+				// neither.
+				rep.observe(leg, time.Now())
+			}
 			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged, launched: launched}
 		}()
 	}
 	launch(false)
+	hedgeDelay := r.cfg.HedgeDelay
+	if r.cfg.AdaptiveHedge {
+		if d := candidates[0].hedgeDelay(time.Now()); d > 0 {
+			hedgeDelay = d
+		}
+	}
 	var hedgeC <-chan time.Time
-	if r.cfg.HedgeDelay > 0 && next < len(candidates) {
-		timer := time.NewTimer(r.cfg.HedgeDelay)
+	if hedgeDelay > 0 && next < len(candidates) {
+		timer := time.NewTimer(hedgeDelay)
 		defer timer.Stop()
 		hedgeC = timer.C
 	}
@@ -285,6 +307,7 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 				return res.out, nil
 			}
 			if transportFailure(res.err) {
+				res.rep.penalize(time.Now())
 				if res.rep.healthy.Swap(false) {
 					r.ctrs.ejected.Add(1)
 					r.logHealth("replica ejected", res.rep, res.err)
@@ -533,6 +556,9 @@ type StatsResponse struct {
 	// Latency maps stable metric names (the same ones GET /metrics exports)
 	// to quantile summaries; metrics with no samples yet are omitted.
 	Latency map[string]apknn.LatencySummary `json:"latency,omitempty"`
+	// LatencyWindow is the same map over roughly the last minute (6×10s
+	// rotating window); metrics with no samples in the window are omitted.
+	LatencyWindow map[string]apknn.LatencySummary `json:"latency_1m,omitempty"`
 }
 
 // broadcastOutcome is one replica's answer to a best-effort write.
@@ -674,7 +700,89 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	}
 	st := r.Stats()
 	st.PerNode = r.perNode(req.Context())
-	serve.WriteJSON(w, http.StatusOK, StatsResponse{Cluster: st, Latency: serve.LatencySummaries()})
+	serve.WriteJSON(w, http.StatusOK, StatsResponse{
+		Cluster:       st,
+		Latency:       serve.LatencySummaries(),
+		LatencyWindow: serve.WindowLatencySummaries(time.Now()),
+	})
+}
+
+// routerAnalyticsTopK is how many merged hot queries the router reports —
+// the same depth each node reports, so the merge never widens the answer.
+const routerAnalyticsTopK = 10
+
+// ShardAnalytics is one shard's heat block inside the router's aggregated
+// /v1/analytics answer. Exactly one replica answers per shard (with the
+// usual failover); its NodeInfo inside Analytics attributes the numbers.
+type ShardAnalytics struct {
+	Shard int `json:"shard"`
+	// Analytics is the answering replica's own /v1/analytics block; nil
+	// when every replica failed (see Error).
+	Analytics *serve.AnalyticsResponse `json:"analytics,omitempty"`
+	// Error reports a shard whose replicas all failed, instead of failing
+	// the whole aggregation — analytics is advisory, not exact.
+	Error string `json:"error,omitempty"`
+}
+
+// AnalyticsResponse answers GET /v1/analytics on the router: the per-shard
+// heat blocks plus a cluster-wide merge of the hot-query lists.
+type AnalyticsResponse struct {
+	// QueriesObserved sums the reachable shards' heat-tracker totals.
+	QueriesObserved uint64 `json:"queries_observed"`
+	// TopQueries is the cluster-wide hot-query merge: per-shard counts
+	// summed by key, count-descending. Error bounds add up too, so the
+	// merged Err stays a valid overcount bound.
+	TopQueries []serve.HotQuery `json:"top_queries"`
+	// Shards holds each shard's own block, for load-imbalance comparison.
+	Shards []ShardAnalytics `json:"shards"`
+}
+
+// handleAnalytics aggregates query-heat analytics: one replica per shard is
+// asked (failover included), the per-shard blocks are returned verbatim,
+// and the top-k lists are merged into a cluster-wide ranking.
+func (r *Router) handleAnalytics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := AnalyticsResponse{Shards: make([]ShardAnalytics, len(r.sets))}
+	var wg sync.WaitGroup
+	for i, set := range r.sets {
+		wg.Add(1)
+		go func(i int, set *shardSet) {
+			defer wg.Done()
+			line := &out.Shards[i]
+			line.Shard = set.shard
+			sctx, cancel := context.WithTimeout(req.Context(), statsTimeout)
+			defer cancel()
+			res, err := r.shardCall(sctx, set, func(ctx context.Context, c *serve.Client) (interface{}, error) {
+				return c.Analytics(ctx)
+			})
+			if err != nil {
+				line.Error = err.Error()
+				return
+			}
+			line.Analytics = res.(*serve.AnalyticsResponse)
+		}(i, set)
+	}
+	wg.Wait()
+	var lists [][]heat.Entry
+	for i := range out.Shards {
+		an := out.Shards[i].Analytics
+		if an == nil {
+			continue
+		}
+		out.QueriesObserved += an.QueriesObserved
+		entries := make([]heat.Entry, len(an.TopQueries))
+		for j, hq := range an.TopQueries {
+			entries[j] = heat.Entry{Key: hq.Key, Count: hq.Count, Err: hq.Err}
+		}
+		lists = append(lists, entries)
+	}
+	for _, e := range heat.MergeTop(routerAnalyticsTopK, lists...) {
+		out.TopQueries = append(out.TopQueries, serve.HotQuery{Key: e.Key, Count: e.Count, Err: e.Err})
+	}
+	serve.WriteJSON(w, http.StatusOK, out)
 }
 
 // perNode fetches every replica's stats concurrently; a node that cannot be

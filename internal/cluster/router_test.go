@@ -41,26 +41,31 @@ func TestHedgedReadWinsOverSlowReplica(t *testing.T) {
 	q := apknn.RandomQueries(22, 1, 32)[0]
 	exact := apknn.ExactSearch(ds, []apknn.Vector{q}, 3, 1)[0]
 
-	// The round-robin primary for the first request is replica 0 — the
-	// stalled one — so this answer can only have come from the hedge.
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	// Latency-aware selection starts both replicas unscored, so the first
+	// primary pick is pseudo-random — but once the fast replica has a
+	// score, the still-unscored stalled one sorts ahead of it and must
+	// lead. By the second request at the latest, the answer can only have
+	// come from the hedge.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	start := time.Now()
-	resp, err := tc.client.Search(ctx, q, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("hedged search took %v; the stalled primary was waited out", elapsed)
-	}
-	got := serve.Neighbors(resp.Neighbors)
-	for j := range exact {
-		if got[j] != exact[j] {
-			t.Fatalf("rank %d: %+v, want %+v", j, got[j], exact[j])
+	for i := 0; i < 4 && stalls.Load() == 0; i++ {
+		start := time.Now()
+		resp, err := tc.client.Search(ctx, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("hedged search took %v; the stalled primary was waited out", elapsed)
+		}
+		got := serve.Neighbors(resp.Neighbors)
+		for j := range exact {
+			if got[j] != exact[j] {
+				t.Fatalf("rank %d: %+v, want %+v", j, got[j], exact[j])
+			}
 		}
 	}
 	if stalls.Load() == 0 {
-		t.Fatal("the stalled replica never saw the request; primary selection is not deterministic")
+		t.Fatal("the stalled replica never became primary; unscored replicas should lead")
 	}
 	st := tc.router.Stats()
 	if st.Hedges == 0 || st.HedgeWins == 0 {
@@ -78,7 +83,7 @@ func TestFailoverOnDeadReplica(t *testing.T) {
 	q := apknn.RandomQueries(32, 1, 32)[0]
 	exact := apknn.ExactSearch(ds, []apknn.Vector{q}, 4, 1)[0]
 
-	tc.nodes[0][1].ts.Close() // kill replica b; round-robin will still pick it
+	tc.nodes[0][1].ts.Close() // kill replica b; while unscored it still leads
 	ctx := context.Background()
 	for i := 0; i < 4; i++ {
 		resp, err := tc.client.Search(ctx, q, 4)
@@ -443,6 +448,104 @@ func TestResolveBasesAfterDeletes(t *testing.T) {
 	}
 	if m.Shards[1].Base != 250 {
 		t.Fatalf("shard 1 base = %d after deletes on shard 0, want 250", m.Shards[1].Base)
+	}
+}
+
+// TestLatencyAwareRouting pins replica selection: once both replicas of a
+// shard are scored, the consistently slower one stops being picked as
+// primary — its EWMA loses every power-of-two-choices draw — so nearly all
+// traffic lands on the fast replica.
+func TestLatencyAwareRouting(t *testing.T) {
+	ds := apknn.RandomDataset(101, 300, 32)
+	var slowHits, fastHits atomic.Int64
+	tc := bootCluster(t, ds, 1, 2, false, cluster.Config{},
+		func(shard, rep int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/search" {
+					if rep == 0 {
+						slowHits.Add(1)
+						time.Sleep(30 * time.Millisecond)
+					} else {
+						fastHits.Add(1)
+					}
+				}
+				h.ServeHTTP(w, r)
+			})
+		})
+	ctx := context.Background()
+	queries := apknn.RandomQueries(102, 4, 32)
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		if _, err := tc.client.Search(ctx, queries[i%len(queries)], 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unscored replicas lead until first observed, so the slow one serves at
+	// most its scoring requests plus the random first pick; after that every
+	// draw prefers the fast replica.
+	if slow := slowHits.Load(); slow > 4 {
+		t.Fatalf("slow replica served %d of %d requests; latency-aware selection is not steering", slow, rounds)
+	}
+	if fast := fastHits.Load(); fast < rounds-4 {
+		t.Fatalf("fast replica served only %d of %d requests", fast, rounds)
+	}
+}
+
+// TestRouterAnalyticsAggregation drives a hot query through the router and
+// reads the aggregated /v1/analytics: per-shard heat blocks from every
+// shard, a cluster-wide top-k merge that sums the per-shard counts, and the
+// windowed latency block on the router's own /v1/stats.
+func TestRouterAnalyticsAggregation(t *testing.T) {
+	ds := apknn.RandomDataset(111, 400, 32)
+	tc := bootCluster(t, ds, 2, 1, false, cluster.Config{}, nil)
+	ctx := context.Background()
+	queries := apknn.RandomQueries(112, 3, 32)
+	hot := queries[0]
+	for i := 0; i < 8; i++ {
+		if _, err := tc.client.Search(ctx, hot, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries[1:] {
+		if _, err := tc.client.Search(ctx, q, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var an cluster.AnalyticsResponse
+	if err := tc.client.Do(ctx, http.MethodGet, "/v1/analytics", nil, &an); err != nil {
+		t.Fatal(err)
+	}
+	// 10 searches scattered to 2 shards: every shard's tracker saw all 10.
+	if an.QueriesObserved != 20 {
+		t.Fatalf("queries observed %d, want 20", an.QueriesObserved)
+	}
+	if len(an.Shards) != 2 {
+		t.Fatalf("%d shard blocks, want 2", len(an.Shards))
+	}
+	for i, sh := range an.Shards {
+		if sh.Error != "" || sh.Analytics == nil {
+			t.Fatalf("shard %d block: err=%q analytics=%v", i, sh.Error, sh.Analytics)
+		}
+		if sh.Analytics.Load.Queries == 0 {
+			t.Fatalf("shard %d load block empty: %+v", i, sh.Analytics.Load)
+		}
+	}
+	// The merge sums the hot key across shards: 8 per shard, 16 total.
+	if len(an.TopQueries) == 0 || an.TopQueries[0].Key != hot.String() {
+		t.Fatalf("hot query not ranked first: %+v", an.TopQueries)
+	}
+	if got := an.TopQueries[0].Count; got != 16 {
+		t.Fatalf("merged hot count %d, want 16", got)
+	}
+
+	var st cluster.StatsResponse
+	if err := tc.client.Do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	win, ok := st.LatencyWindow["apknn_cluster_search_seconds"]
+	if !ok || win.Count == 0 {
+		t.Fatalf("latency_1m missing routed search series: %+v", st.LatencyWindow)
 	}
 }
 

@@ -76,12 +76,22 @@ type Histogram struct {
 	count      atomic.Int64
 	sum        atomic.Int64
 	max        atomic.Int64
+	minute     *Window
 }
 
 // newHistogram builds an unregistered histogram; callers go through a
 // Registry so names stay unique per process.
 func newHistogram(name, help string) *Histogram {
-	return &Histogram{name: name, help: help, counts: make([]atomic.Int64, numBuckets)}
+	h := &Histogram{name: name, help: help, counts: make([]atomic.Int64, numBuckets)}
+	h.minute = NewWindow(h, defaultWindowSlots, defaultWindowWidth)
+	return h
+}
+
+// NewUnregisteredHistogram builds a histogram outside any Registry — for
+// per-instance series (e.g. one per cluster replica) whose quantiles feed
+// decisions rather than the /metrics exposition.
+func NewUnregisteredHistogram(name, help string) *Histogram {
+	return newHistogram(name, help)
 }
 
 // Name returns the metric name the histogram was registered under.

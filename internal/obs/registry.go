@@ -46,6 +46,11 @@ func NewHistogram(name, help string) *Histogram {
 	return Default.Histogram(name, help)
 }
 
+// sortHistograms orders histograms by registered name.
+func sortHistograms(hists []*Histogram) {
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+}
+
 // Snapshots returns a name-sorted snapshot of every registered histogram.
 func (r *Registry) Snapshots() []Snapshot {
 	r.mu.RLock()
@@ -54,7 +59,7 @@ func (r *Registry) Snapshots() []Snapshot {
 		hists = append(hists, h)
 	}
 	r.mu.RUnlock()
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	sortHistograms(hists)
 	out := make([]Snapshot, len(hists))
 	for i, h := range hists {
 		out[i] = h.Snapshot()

@@ -99,6 +99,10 @@ type batcher struct {
 	in   chan *request
 	quit chan struct{} // closed by close(); submit fails fast after
 	done chan struct{} // closed when the loop has exited
+	// slots, when non-nil, is the backend-concurrency semaphore: a
+	// dispatched flush acquires one before it starts the clock, so time
+	// spent waiting for a free slot lands in its members' queue wait.
+	slots chan struct{}
 
 	mu      sync.Mutex // guards closed and the submits Add/Wait ordering
 	closed  bool
@@ -106,7 +110,7 @@ type batcher struct {
 	flushes sync.WaitGroup // in-flight dispatched flushes
 }
 
-func newBatcher(idx apknn.Index, maxBatch int, window time.Duration, ctrs *counters) *batcher {
+func newBatcher(idx apknn.Index, maxBatch int, window time.Duration, maxFlushes int, ctrs *counters) *batcher {
 	b := &batcher{
 		idx:      idx,
 		maxBatch: maxBatch,
@@ -115,6 +119,9 @@ func newBatcher(idx apknn.Index, maxBatch int, window time.Duration, ctrs *count
 		in:       make(chan *request, maxBatch),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if maxFlushes > 0 {
+		b.slots = make(chan struct{}, maxFlushes)
 	}
 	go b.loop()
 	return b
@@ -203,6 +210,12 @@ func (b *batcher) dispatch(reqs []*request, cause flushCause) {
 	b.flushes.Add(1)
 	go func() {
 		defer b.flushes.Done()
+		if b.slots != nil {
+			// Waiting for a backend slot happens before runFlush starts the
+			// clock: the wait is queue time the members pay, not backend time.
+			b.slots <- struct{}{}
+			defer func() { <-b.slots }()
+		}
 		b.runFlush(reqs, cause)
 	}()
 }

@@ -118,6 +118,16 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
+// Analytics fetches the node's query-heat block: top queries by frequency
+// and per-shard load counters.
+func (c *Client) Analytics(ctx context.Context) (*AnalyticsResponse, error) {
+	var out AnalyticsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/analytics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse

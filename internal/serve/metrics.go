@@ -37,7 +37,17 @@ var (
 // LatencySummaries condenses every metric that has recorded at least one
 // sample into the /v1/stats latency block.
 func LatencySummaries() map[string]apknn.LatencySummary {
-	sums := obs.Default.Summaries()
+	return toLatencySummaries(obs.Default.Summaries())
+}
+
+// WindowLatencySummaries is LatencySummaries over roughly the last minute
+// (each histogram's built-in 6×10s window) — the /v1/stats latency_1m
+// block, shared with the cluster router.
+func WindowLatencySummaries(now time.Time) map[string]apknn.LatencySummary {
+	return toLatencySummaries(obs.Default.WindowSummaries(now))
+}
+
+func toLatencySummaries(sums map[string]obs.Summary) map[string]apknn.LatencySummary {
 	out := make(map[string]apknn.LatencySummary, len(sums))
 	for name, s := range sums {
 		out[name] = apknn.LatencySummary{
@@ -59,6 +69,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.SetMetricsHeaders(w)
 	obs.Default.WritePrometheus(w)
+	obs.Default.WriteWindowed(w, time.Now())
 	st := s.ctrs.snapshot()
 	obs.WriteCounter(w, "apknn_serve_requests_total",
 		"Requests admitted into the micro-batcher via /v1/search", st.Requests)
@@ -82,7 +93,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteCounter(w, "apknn_backend_batches_total",
 		"Batches answered by the backend index", bst.Batches)
 	obs.WriteGauge(w, "apknn_serve_inflight",
-		"Requests currently holding an admission slot", float64(len(s.inflight)))
+		"Requests currently holding an admission slot", float64(s.inflight.Load()))
+	obs.WriteGauge(w, "apknn_serve_inflight_limit",
+		"Current admission limit (static cap, or the SLO controller's dynamic limit)",
+		float64(s.limit.Load()))
+	if s.slo != nil {
+		slo := s.slo.stats()
+		obs.WriteGauge(w, "apknn_slo_target_p99_seconds",
+			"Queue-wait p99 target the admission controller holds", float64(slo.TargetP99NS)/1e9)
+		obs.WriteGauge(w, "apknn_slo_observed_p99_seconds",
+			"Windowed queue-wait p99 at the last control tick", float64(slo.ObservedP99NS)/1e9)
+		obs.WriteGauge(w, "apknn_slo_limit",
+			"Current SLO-adaptive in-flight limit", float64(slo.Limit))
+		obs.WriteGauge(w, "apknn_slo_shed_rate",
+			"Smoothed fraction of arrivals shed with 429", slo.ShedRate)
+	}
 }
 
 // observeRequest finishes one traced request: the end-to-end histogram

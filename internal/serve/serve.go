@@ -24,6 +24,7 @@ import (
 	"time"
 
 	apknn "repro"
+	"repro/internal/heat"
 	"repro/internal/obs"
 )
 
@@ -38,8 +39,24 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxInFlight bounds admitted requests across /v1/search and
 	// /v1/search_batch; excess requests are refused with 429 and a
-	// Retry-After header (default 256).
+	// Retry-After header (default 256). With SLOTargetP99 set it becomes
+	// the ceiling of the adaptive limit rather than the limit itself.
 	MaxInFlight int
+	// MaxConcurrentFlushes bounds how many dispatched flushes may run
+	// backend calls at once (apserve -max-flushes). The default 0 leaves
+	// dispatch unbounded — the next batch forms while the backend streams
+	// the current one. Bounding it models a backend with that many
+	// independent execution slots (boards); when every slot is busy a
+	// dispatched flush waits, and that wait is charged to its members'
+	// queue wait — which makes backlog visible to the SLO controller
+	// instead of hiding inside backend latency.
+	MaxConcurrentFlushes int
+	// SLOTargetP99, when positive, enables SLO-adaptive admission
+	// (apserve -slo-p99): a controller watches the windowed queue-wait p99
+	// and moves the in-flight limit AIMD-style between 1 and MaxInFlight,
+	// shedding with 429 + a computed Retry-After before the tail breaches
+	// this target. Zero keeps the static MaxInFlight behavior.
+	SLOTargetP99 time.Duration
 	// DefaultK answers requests that omit k (default 10).
 	DefaultK int
 	// Dim, when set, is the served dataset's dimensionality and lets the
@@ -103,11 +120,17 @@ type Mutable interface {
 // Server serves one compiled Index over the /v1 HTTP JSON API. Create it
 // with New, mount Handler on any http.Server, and Close it to drain.
 type Server struct {
-	idx      apknn.Index
-	mut      Mutable // non-nil when idx is a live index
-	cfg      Config
-	batcher  *batcher
-	inflight chan struct{}
+	idx     apknn.Index
+	mut     Mutable // non-nil when idx is a live index
+	cfg     Config
+	batcher *batcher
+	// inflight/limit are the admission gate: a request is admitted while
+	// inflight < limit. Static mode pins limit at MaxInFlight; with an SLO
+	// target the controller is the only writer of limit.
+	inflight atomic.Int64
+	limit    atomic.Int64
+	slo      *sloController // non-nil when cfg.SLOTargetP99 > 0
+	heat     *heat.Tracker
 	ctrs     counters
 	closed   atomic.Bool
 	mux      *http.ServeMux
@@ -121,19 +144,25 @@ type Server struct {
 func New(idx apknn.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		idx:      idx,
-		cfg:      cfg,
-		inflight: make(chan struct{}, cfg.MaxInFlight),
-		started:  time.Now(),
+		idx:     idx,
+		cfg:     cfg,
+		heat:    heat.NewTracker(analyticsTopK),
+		started: time.Now(),
+	}
+	s.limit.Store(int64(cfg.MaxInFlight))
+	if cfg.SLOTargetP99 > 0 {
+		s.slo = newSLOController(cfg.SLOTargetP99, &s.limit, &s.inflight, int64(cfg.MaxInFlight))
+		go s.slo.run()
 	}
 	s.mut, _ = idx.(Mutable)
-	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, &s.ctrs)
+	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, cfg.MaxConcurrentFlushes, &s.ctrs)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/search_batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/analytics", s.handleAnalytics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -142,8 +171,15 @@ func New(idx apknn.Index, cfg Config) *Server {
 // Handler returns the API handler, mountable on any http.Server or mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats snapshots the serving-layer counters.
-func (s *Server) Stats() apknn.ServingStats { return s.ctrs.snapshot() }
+// Stats snapshots the serving-layer counters, including the SLO
+// controller's state block when adaptive admission is enabled.
+func (s *Server) Stats() apknn.ServingStats {
+	st := s.ctrs.snapshot()
+	if s.slo != nil {
+		st.SLO = s.slo.stats()
+	}
+	return st
+}
 
 // Index returns the served index, for callers that co-host the server and
 // want the backend counters too.
@@ -158,29 +194,52 @@ func (s *Server) Close(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	if s.slo != nil {
+		s.slo.close()
+	}
 	return s.batcher.close(ctx)
 }
 
 // admit reserves an in-flight slot, answering 429 with Retry-After when
 // the server is saturated and 503 when it is shutting down. The returned
-// release func is non-nil iff admission succeeded.
+// release func is non-nil iff admission succeeded. The gate is a CAS loop
+// over the inflight counter against the (possibly controller-moved) limit,
+// so admission stays lock-free in both modes.
 func (s *Server) admit(w http.ResponseWriter) func() {
 	if s.closed.Load() {
 		WriteError(w, http.StatusServiceUnavailable, errClosed.Error())
 		return nil
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }
-	default:
-		s.ctrs.rejected.Add(1)
-		// One batch window from now the queue has turned over at least
-		// once; round up so the header stays meaningful at ms windows.
-		retry := int(s.cfg.BatchWindow/time.Second) + 1
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		WriteError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("serve: %d requests already in flight", s.cfg.MaxInFlight))
-		return nil
+	for {
+		cur := s.inflight.Load()
+		limit := s.limit.Load()
+		if cur >= limit {
+			s.ctrs.rejected.Add(1)
+			if s.slo != nil {
+				s.slo.shed.Add(1)
+				// The adaptive shed computes Retry-After from the observed
+				// queue-wait tail: by then the queue the client would have
+				// joined has turned over.
+				w.Header().Set("Retry-After", strconv.Itoa(s.slo.retryAfterSeconds()))
+				WriteError(w, http.StatusTooManyRequests, fmt.Sprintf(
+					"serve: shedding at %d in flight to hold queue-wait p99 under %s",
+					limit, s.cfg.SLOTargetP99))
+				return nil
+			}
+			// One batch window from now the queue has turned over at least
+			// once; round up so the header stays meaningful at ms windows.
+			retry := int(s.cfg.BatchWindow/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			WriteError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("serve: %d requests already in flight", s.cfg.MaxInFlight))
+			return nil
+		}
+		if s.inflight.CompareAndSwap(cur, cur+1) {
+			if s.slo != nil {
+				s.slo.admitted.Add(1)
+			}
+			return func() { s.inflight.Add(-1) }
+		}
 	}
 }
 
@@ -221,6 +280,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, apknn.ErrBadK.Error())
 		return
 	}
+	// Heat is tracked on the canonical vector form so "1011" and a padded
+	// equivalent count as one key.
+	s.heat.Observe(q.String())
 
 	ctx := obs.WithRequestID(r.Context(), tr.ID)
 	if body.TimeoutMS > 0 {
@@ -294,6 +356,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		queries[i] = q
+		s.heat.Observe(q.String())
 	}
 	k := body.K
 	if k == 0 {
@@ -398,11 +461,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	WriteJSON(w, http.StatusOK, StatsResponse{
 		Backend:       s.idx.Stats(),
-		Serving:       s.ctrs.snapshot(),
+		Serving:       s.Stats(),
 		ModeledTimeNS: int64(s.idx.ModeledTime()),
 		Node:          s.nodeInfo(),
 		Latency:       LatencySummaries(),
+		LatencyWindow: WindowLatencySummaries(time.Now()),
 	})
+}
+
+// analyticsTopK is how many hot queries /v1/analytics reports.
+const analyticsTopK = 10
+
+// handleAnalytics serves GET /v1/analytics: the query-heat block (top
+// queries by frequency with space-saving error bounds) plus this node's
+// load counters — the signal a hot-query cache or a shard-split advisor
+// consumes, and what aprouter aggregates across the fleet.
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.idx.Stats()
+	load := ShardLoad{
+		Queries:           st.Queries,
+		Batches:           st.Batches,
+		CandidatesScanned: st.CandidatesScanned,
+		BytesScanned:      st.CandidatesScanned * int64(vectorBytes(s.cfg.Dim)),
+	}
+	if st.Live != nil {
+		load.DeltaSize = st.Live.DeltaSize
+	}
+	if sized, ok := s.idx.(interface{ Len() int }); ok {
+		load.Vectors = sized.Len()
+	} else {
+		load.Vectors = s.cfg.Vectors
+	}
+	top := s.heat.Top(analyticsTopK)
+	hot := make([]HotQuery, len(top))
+	for i, e := range top {
+		hot[i] = HotQuery{Key: e.Key, Count: e.Count, Err: e.Err}
+	}
+	WriteJSON(w, http.StatusOK, AnalyticsResponse{
+		Node:            s.nodeInfo(),
+		QueriesObserved: s.heat.Total(),
+		TopQueries:      hot,
+		Load:            load,
+	})
+}
+
+// vectorBytes is the packed size of one dim-bit vector — the per-candidate
+// cost a scan pays, used to convert candidates scanned into bytes scanned.
+// An unconfigured dim reports zero rather than guessing.
+func vectorBytes(dim int) int {
+	if dim <= 0 {
+		return 0
+	}
+	return (dim + 63) / 64 * 8
 }
 
 // nodeInfo builds the /v1/stats identity block, nil when the server has no

@@ -410,6 +410,53 @@ func TestAdmissionControl(t *testing.T) {
 	}
 }
 
+// TestFlushConcurrencyCap pins MaxConcurrentFlushes: with 2 backend slots
+// and coalescing disabled, at most 2 flushes reach the backend at once no
+// matter how many requests are admitted; the overflow waits for a slot and
+// completes once the parked flushes release.
+func TestFlushConcurrencyCap(t *testing.T) {
+	idx := newBlockingIndex()
+	srv := New(idx, Config{MaxInFlight: 16, BatchWindow: 0, MaxConcurrentFlushes: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+	q := apknn.RandomQueries(16, 1, 8)[0]
+
+	const n = 6
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := client.Search(context.Background(), q, 1)
+			results <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-idx.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked flushes never reached the backend")
+		}
+	}
+	// Both slots are held; no further flush may enter while they park.
+	select {
+	case <-idx.entered:
+		t.Fatal("a third flush entered the backend past the 2-slot cap")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(idx.release)
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("request failed after release: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCanceledRequestReturnsPromptly is the acceptance bound: a request
 // whose context ends while queued returns within one batch window + one
 // batch — here well under the deliberately huge window — and nothing

@@ -119,6 +119,53 @@ type StatsResponse struct {
 	// Latency maps stable metric names (the same ones GET /metrics exports)
 	// to quantile summaries; metrics with no samples yet are omitted.
 	Latency map[string]apknn.LatencySummary `json:"latency,omitempty"`
+	// LatencyWindow is the same map computed over roughly the last minute
+	// (a 6×10s rotating window) instead of since boot — what a dashboard
+	// without a scraping Prometheus reads for "p99 right now". Metrics
+	// with no samples inside the window are omitted.
+	LatencyWindow map[string]apknn.LatencySummary `json:"latency_1m,omitempty"`
+}
+
+// HotQuery is one entry of the /v1/analytics heat block: a query key (the
+// canonical bit-string form), its estimated frequency, and the
+// space-saving error bound (the key may have occurred up to Err times
+// while untracked; 0 means the count is exact).
+type HotQuery struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// ShardLoad is the per-node load block of /v1/analytics — the counters a
+// shard-split advisor compares across shards.
+type ShardLoad struct {
+	// Queries and Batches are the backend's own serving counters.
+	Queries int64 `json:"queries"`
+	Batches int64 `json:"batches"`
+	// CandidatesScanned is the total query/candidate distance evaluations.
+	CandidatesScanned int64 `json:"candidates_scanned"`
+	// BytesScanned is CandidatesScanned × the packed vector size — the
+	// scan bandwidth this node has paid. Zero when the server does not
+	// know its dimensionality.
+	BytesScanned int64 `json:"bytes_scanned"`
+	// DeltaSize is the live index's current delta-segment length (0 for a
+	// static index) — pending churn not yet compacted into the base.
+	DeltaSize int `json:"delta_size"`
+	// Vectors is the node's current dataset size.
+	Vectors int `json:"vectors"`
+}
+
+// AnalyticsResponse answers GET /v1/analytics on one apserve node.
+type AnalyticsResponse struct {
+	// Node identifies this server within a cluster, when configured.
+	Node *NodeInfo `json:"node,omitempty"`
+	// QueriesObserved is the number of queries the heat tracker has seen
+	// (search and batch members both count).
+	QueriesObserved uint64 `json:"queries_observed"`
+	// TopQueries is the hottest queries, count-descending.
+	TopQueries []HotQuery `json:"top_queries"`
+	// Load is this node's load-counter block.
+	Load ShardLoad `json:"load"`
 }
 
 // HealthResponse answers GET /healthz.

@@ -200,6 +200,61 @@ func TestSmokeBinaries(t *testing.T) {
 	}
 }
 
+// TestSmokeAptrace runs the cycle-trace tool in both its shapes — the
+// single-vector Fig. 3 macro and the two-vector Fig. 4 layout — and asserts
+// the trace header, the per-cycle rows, and the report line that names the
+// cycle where the inverted Hamming distance fires.
+func TestSmokeAptrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests build binaries; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "aptrace")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/aptrace").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/aptrace: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "fig3",
+			args: nil,
+			want: []string{
+				"Fig. 3 trace: vector=1011 query=1001",
+				"t= 1 sym=SOF",
+				"sym=EOF",
+				"report: vector 0 at cycle 8",
+				"Hamming distance 1",
+			},
+		},
+		{
+			name: "fig4",
+			args: []string{"-two"},
+			want: []string{
+				"Fig. 4 trace: A=1011 B=0000 query=1001",
+				"v1.ihd=",
+				"report: vector 0",
+				"report: vector 1",
+			},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(bin, c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("aptrace %v: %v\n%s", c.args, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("aptrace %v output missing %q:\n%s", c.args, want, out)
+				}
+			}
+		})
+	}
+}
+
 // TestSmokeDatasetSaveLoad round-trips a dataset through the binary format
 // via the apknn CLI: -save one run, -load the next, same search results.
 func TestSmokeDatasetSaveLoad(t *testing.T) {

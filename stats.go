@@ -150,6 +150,34 @@ type ServingStats struct {
 	// MeanBatch is the mean realized flush size (queries per backend
 	// call); 0 until the first flush.
 	MeanBatch float64 `json:"mean_batch"`
+	// SLO is the adaptive admission controller's state, present only when
+	// the server runs with an SLO target (apserve -slo-p99).
+	SLO *SLOStats `json:"slo,omitempty"`
+}
+
+// SLOStats is the SLO-adaptive admission controller's state block inside
+// ServingStats: what tail it is steering toward, what it currently
+// observes over its sliding window, and where the dynamic in-flight limit
+// sits between its floor and the static cap. GET /v1/stats reports it
+// under "serving.slo"; /metrics exports the same values as apknn_slo_*
+// gauges.
+type SLOStats struct {
+	// TargetP99NS is the queue-wait p99 the controller holds the tail to.
+	TargetP99NS int64 `json:"target_p99_ns"`
+	// ObservedP99NS is the windowed queue-wait p99 at the last control
+	// tick — the signal the limit moved on.
+	ObservedP99NS int64 `json:"observed_p99_ns"`
+	// Limit is the current dynamic in-flight admission limit.
+	Limit int64 `json:"limit"`
+	// InFlight is the number of requests currently holding a slot.
+	InFlight int64 `json:"inflight"`
+	// ShedRate is the smoothed fraction of arrivals refused with 429 over
+	// the controller's recent ticks, in [0,1].
+	ShedRate float64 `json:"shed_rate"`
+	// Increases / Decreases count limit movements: additive raises while
+	// under target, multiplicative cuts on a breach.
+	Increases int64 `json:"increases"`
+	Decreases int64 `json:"decreases"`
 }
 
 // LatencySummary is one metric's quantile block inside the "latency" map of
