@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/aperr"
 	"repro/internal/knn"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -48,7 +49,12 @@ func (c *cpuIndex) Search(ctx context.Context, queries []Vector, k int) ([][]Nei
 			return nil, fmt.Errorf("cpu: query %d dim %d != dataset dim %d: %w", i, q.Dim(), c.ds.Dim(), aperr.ErrDimMismatch)
 		}
 	}
+	// The kernel itself is trace-free (per-candidate hot path); one span
+	// around the whole scan is all a trace needs. Nil-safe no-op when the
+	// context carries no trace.
+	ksp := obs.StartSpan(ctx, "kernel_scan")
 	res, err := knn.ScanBatch(ctx, c.ds, queries, k, knn.ScanConfig{Workers: c.workers})
+	ksp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/knn"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -100,6 +101,7 @@ func bptr(v bool) *bool { return &v }
 type benchJSON struct {
 	Schema      string        `json:"schema"`
 	GeneratedAt string        `json:"generated_at"`
+	Version     string        `json:"version,omitempty"`
 	Results     []benchRecord `json:"results"`
 }
 
@@ -124,8 +126,15 @@ func main() {
 	quickFlag := flag.Bool("quick", false, "shrink experiment grids and timing targets (CI smoke)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	regress := flag.String("regress", "", "after the run, compare this run's hotpath cells against a committed apbench/v1 baseline file and exit non-zero on a speedup regression past -regress-band")
+	regressBand := flag.Float64("regress-band", 0.25, "allowed relative speedup drop per matched cell for -regress")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	quick = *quickFlag
+	if *showVersion {
+		fmt.Println("apbench", obs.BuildVersion())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -157,8 +166,12 @@ func main() {
 		}()
 	}
 
-	if *jsonPath != "" {
-		recorder = &benchJSON{Schema: "apbench/v1", GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	if *jsonPath != "" || *regress != "" {
+		recorder = &benchJSON{
+			Schema:      "apbench/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Version:     obs.BuildVersion(),
+		}
 	}
 	switch {
 	case *all:
@@ -176,7 +189,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if recorder != nil {
+	if recorder != nil && *jsonPath != "" {
 		buf, err := json.MarshalIndent(recorder, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apbench: encode json:", err)
@@ -187,6 +200,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d result row(s) to %s\n", len(recorder.Results), *jsonPath)
+	}
+	if *regress != "" {
+		if err := regressCheck(*regress, recorder.Results, *regressBand); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench: regress:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// regressCheck gates a hotpath run against a committed apbench/v1 baseline
+// (BENCH_hotpath.json). Absolute ns/query is machine-dependent, so the gate
+// compares the host-normalized speedup instead — each run's kernel cells
+// against that same run's Linear oracle baseline — which cancels the host
+// out of both sides. Kernel cells are matched on (dim, workers, block),
+// ignoring n: the -quick grid shrinks n below anything the committed full
+// sweep contains, and per-candidate speedup is the stable quantity across
+// sizes. A matched cell whose speedup drops more than band below the
+// baseline mean fails the run; upside drift only warns (a faster kernel is
+// not a regression, but past +band it is probably a baseline gone stale).
+func regressCheck(path string, results []benchRecord, band float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Schema != "apbench/v1" {
+		return fmt.Errorf("baseline %s has schema %q, want apbench/v1", path, base.Schema)
+	}
+	baseline := speedupsByCell(base.Results)
+	if len(baseline) == 0 {
+		return fmt.Errorf("baseline %s has no hotpath kernel cells", path)
+	}
+	current := speedupsByCell(results)
+	if len(current) == 0 {
+		return fmt.Errorf("this run produced no hotpath kernel cells (did it include -exp hotpath?)")
+	}
+
+	keys := make([]string, 0, len(current))
+	for key := range current {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	matched, failed := 0, 0
+	for _, key := range keys {
+		bs, ok := baseline[key]
+		if !ok {
+			fmt.Printf("regress: %-32s no baseline cell, skipped\n", key)
+			continue
+		}
+		matched++
+		got := mean(current[key])
+		want := mean(bs)
+		drift := got/want - 1
+		verdict := "ok"
+		switch {
+		case drift < -band:
+			verdict = "FAIL"
+			failed++
+		case drift > band:
+			verdict = "warn: above band (stale baseline?)"
+		}
+		fmt.Printf("regress: %-32s speedup %.2fx vs baseline %.2fx (%+.1f%%) %s\n",
+			key, got, want, drift*100, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no cells of this run match the baseline grid in %s", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d matched cell(s) regressed past -%.0f%%", failed, matched, band*100)
+	}
+	fmt.Printf("regress: %d matched cell(s) within the ±%.0f%% band\n", matched, band*100)
+	return nil
+}
+
+// speedupsByCell collects hotpath kernel speedups keyed by the
+// machine-portable cell coordinates.
+func speedupsByCell(rows []benchRecord) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, r := range rows {
+		if r.Experiment != "hotpath" || r.Speedup == nil {
+			continue
+		}
+		if impl, _ := r.Params["impl"].(string); impl != "kernel" {
+			continue
+		}
+		key := fmt.Sprintf("dim=%v workers=%v block=%v",
+			r.Params["dim"], r.Params["workers"], r.Params["block"])
+		out[key] = append(out[key], *r.Speedup)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -57,7 +57,15 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofOn := flag.Bool("pprof", false, obs.PprofFlagDoc)
 	slowQuery := flag.Duration("slow-query", -1, obs.SlowQueryFlagDoc)
+	nodeID := flag.String("node-id", "", "identity stamped on trace roots and flight-recorder records (default: \"router\")")
+	traceDepth := flag.Int("trace-depth", 0, "flight recorder: completed traces retained per class for /v1/debug/traces (0 = default 64)")
+	traceSlowFactor := flag.Float64("trace-slow-factor", 0, "flight recorder: classify a request as slow at this multiple of the windowed routed p99 (0 = default 4)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("aprouter", obs.BuildVersion())
+		return
+	}
 
 	logger, err := obs.NewLogger(*logFormat, os.Stderr)
 	if err != nil {
@@ -107,14 +115,17 @@ func main() {
 	}
 
 	cfg := cluster.Config{
-		HedgeDelay:    *hedge,
-		AdaptiveHedge: *adaptiveHedge,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		DefaultK:      *defaultK,
-		Dim:           m.Dim,
-		Retry:         serve.RetryPolicy{MaxAttempts: *retries},
-		Logger:        logger,
+		HedgeDelay:      *hedge,
+		AdaptiveHedge:   *adaptiveHedge,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		DefaultK:        *defaultK,
+		Dim:             m.Dim,
+		Retry:           serve.RetryPolicy{MaxAttempts: *retries},
+		Logger:          logger,
+		NodeID:          *nodeID,
+		TraceDepth:      *traceDepth,
+		TraceSlowFactor: *traceSlowFactor,
 	}
 	if *slowQuery >= 0 {
 		cfg.SlowQueryLog = logger
@@ -145,9 +156,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logger.Info("routing",
-		"addr", ln.Addr().String(), "shards", len(m.Shards),
-		"hedge", *hedge, "adaptive_hedge", *adaptiveHedge,
-		"probe_interval", *probeInterval)
+		"addr", ln.Addr().String(), "version", obs.BuildVersion(),
+		"shards", len(m.Shards), "hedge", *hedge,
+		"adaptive_hedge", *adaptiveHedge, "probe_interval", *probeInterval)
 
 	select {
 	case err := <-errCh:

@@ -39,6 +39,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -78,7 +79,19 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofOn := flag.Bool("pprof", false, obs.PprofFlagDoc)
 	slowQuery := flag.Duration("slow-query", -1, obs.SlowQueryFlagDoc)
+	traceDepth := flag.Int("trace-depth", 0, "flight recorder: completed traces retained per class for /v1/debug/traces (0 = default 64)")
+	traceSlowFactor := flag.Float64("trace-slow-factor", 0, "flight recorder: classify a request as slow at this multiple of the windowed search p99 (0 = default 4)")
+	anomalyP99 := flag.Duration("anomaly-p99", 0, "anomaly capture: dump a debug bundle when the windowed search p99 breaches -anomaly-factor times this target (0 disables)")
+	anomalyFactor := flag.Float64("anomaly-factor", 0, "anomaly capture: breach multiple over -anomaly-p99 (0 = default 3)")
+	anomalyProfiles := flag.Bool("anomaly-profiles", false, "anomaly capture: include heap and goroutine pprof profiles in each bundle")
+	debugDir := flag.String("debug-dir", "", "anomaly bundle directory (default: <data-dir>/debug)")
+	pace := flag.Duration("pace", 0, "testing: artificial delay added to every backend search call, visible as backend-span time in traces")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("apserve", obs.BuildVersion())
+		return
+	}
 
 	logger, err := obs.NewLogger(*logFormat, os.Stderr)
 	if err != nil {
@@ -188,6 +201,14 @@ func main() {
 	if liveIdx != nil {
 		vectors = liveIdx.Len() // recovery may have diverged from the seed
 	}
+	if *pace > 0 {
+		idx = paceIndex(idx, liveIdx, *pace)
+		logger.Warn("pacing backend calls", "pace", *pace)
+	}
+	bundleDir := *debugDir
+	if bundleDir == "" && *dataDir != "" {
+		bundleDir = filepath.Join(*dataDir, "debug")
+	}
 	cfg := serve.Config{
 		MaxBatch:             *maxBatch,
 		BatchWindow:          *window,
@@ -199,6 +220,16 @@ func main() {
 		NodeID:               id,
 		Addr:                 ln.Addr().String(),
 		Vectors:              vectors,
+		TraceDepth:           *traceDepth,
+		TraceSlowFactor:      *traceSlowFactor,
+		AnomalyTarget:        *anomalyP99,
+		AnomalyFactor:        *anomalyFactor,
+		DebugDir:             bundleDir,
+		AnomalyProfiles:      *anomalyProfiles,
+		AnomalyLog:           logger,
+	}
+	if *anomalyP99 > 0 && bundleDir == "" {
+		fatal("flag validation", errors.New("-anomaly-p99 needs a bundle directory: set -data-dir or -debug-dir"))
 	}
 	if *slowQuery >= 0 {
 		cfg.SlowQueryLog = logger
@@ -217,9 +248,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logger.Info("serving",
-		"addr", ln.Addr().String(), "batch_cap", *maxBatch,
-		"window", *window, "max_inflight", *maxInFlight,
-		"slo_p99", *sloP99)
+		"addr", ln.Addr().String(), "version", obs.BuildVersion(),
+		"batch_cap", *maxBatch, "window", *window,
+		"max_inflight", *maxInFlight, "slo_p99", *sloP99)
 
 	select {
 	case err := <-errCh:
@@ -273,4 +304,45 @@ func withPprof(api http.Handler) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// pacedIndex is the -pace testing aid: it delays every backend search so a
+// CI job (or a local repro) can manufacture a predictably slow request and
+// assert it surfaces in the flight recorder. The sleep lands inside the
+// backend span, exactly where a genuinely slow kernel would.
+type pacedIndex struct {
+	apknn.Index
+	pace time.Duration
+}
+
+func (p *pacedIndex) Search(ctx context.Context, queries []apknn.Vector, k int) ([][]apknn.Neighbor, error) {
+	select {
+	case <-time.After(p.pace):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return p.Index.Search(ctx, queries, k)
+}
+
+// pacedLive additionally forwards the live index's write surface and sizing
+// probes, which serve discovers by type assertion — without these a paced
+// live node would silently lose /v1/insert and /v1/delete.
+type pacedLive struct {
+	pacedIndex
+	live *apknn.LiveIndex
+}
+
+func (p *pacedLive) Insert(ctx context.Context, v apknn.Vector) (int, error) {
+	return p.live.Insert(ctx, v)
+}
+func (p *pacedLive) Delete(ctx context.Context, id int) error { return p.live.Delete(ctx, id) }
+func (p *pacedLive) Len() int                                 { return p.live.Len() }
+func (p *pacedLive) NextID() int                              { return p.live.NextID() }
+
+func paceIndex(idx apknn.Index, liveIdx *apknn.LiveIndex, d time.Duration) apknn.Index {
+	paced := pacedIndex{Index: idx, pace: d}
+	if liveIdx != nil {
+		return &pacedLive{pacedIndex: paced, live: liveIdx}
+	}
+	return &paced
 }

@@ -1,0 +1,329 @@
+// Command aptop is a terminal dashboard over a running fleet: it polls
+// /v1/stats, /metrics and /v1/debug/traces on every node of a -shards
+// topology (plus an optional -router) and renders one refreshing frame —
+// live QPS, windowed p50/p99, shed and hedge columns per node, then the
+// fleet's most recent anomalies (slow and errored traces straight out of
+// each node's flight recorder, and anomaly-bundle trips from /metrics).
+//
+//	aptop -router 127.0.0.1:8090 -shards "127.0.0.1:9001,127.0.0.1:9002;127.0.0.1:9003"
+//	aptop -shards 127.0.0.1:9001 -once        # one frame, no screen control
+//
+// aptop is read-only: it only issues GETs the nodes already serve, so it
+// is safe to point at a production fleet.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// node is one polled endpoint: a shard (serve.StatsResponse) or the router
+// (cluster.StatsResponse). One frame holds each node's latest sample plus
+// the previous frame's counters for QPS deltas.
+type node struct {
+	addr   string
+	router bool
+
+	client *serve.Client
+
+	mu        sync.Mutex
+	err       error     // last poll error, shown in the frame
+	sampledAt time.Time // when the current counters were read
+	prevAt    time.Time
+	id        string
+	version   string
+	vectors   int
+	requests  int64 // cumulative admitted requests (search + batch)
+	prevReqs  int64
+	shed      int64 // cumulative 429s (shard) — the router never sheds
+	hedges    int64
+	hedgeWins int64
+	p50, p99  time.Duration // windowed (last ~1m)
+	anomalies int64         // anomaly-bundle trips (apknn_anomaly_dumps_total)
+	recorded  int64         // flight-recorder completions
+	traces    []*obs.TraceRecord
+}
+
+func main() {
+	routerAddr := flag.String("router", "", "router address to poll, e.g. 127.0.0.1:8090")
+	shards := flag.String("shards", "", "shard topology to poll: replicas comma-separated, shards semicolon-separated (same syntax as aprouter)")
+	interval := flag.Duration("interval", time.Second, "poll and redraw period")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen control)")
+	nTraces := flag.Int("n", 5, "recent anomalous traces shown per class")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("aptop", obs.BuildVersion())
+		return
+	}
+	if *routerAddr == "" && *shards == "" {
+		fmt.Fprintln(os.Stderr, "aptop: at least one of -router or -shards is required")
+		os.Exit(2)
+	}
+
+	var nodes []*node
+	if *routerAddr != "" {
+		nodes = append(nodes, newNode(*routerAddr, true))
+	}
+	if *shards != "" {
+		m, err := cluster.ParseTopology(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aptop:", err)
+			os.Exit(2)
+		}
+		for _, sh := range m.Shards {
+			for _, addr := range sh.Replicas {
+				nodes = append(nodes, newNode(addr, false))
+			}
+		}
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	for {
+		pollAll(nodes, *nTraces, *interval)
+		if !*once {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(out, nodes, *nTraces)
+		out.Flush()
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func newNode(addr string, router bool) *node {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &node{addr: addr, router: router, client: &serve.Client{BaseURL: base}}
+}
+
+// pollAll refreshes every node concurrently; a node that fails to answer
+// keeps its previous sample and carries the error into the frame.
+func pollAll(nodes []*node, nTraces int, interval time.Duration) {
+	budget := interval
+	if budget < time.Second {
+		budget = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			n.poll(ctx, nTraces)
+		}(n)
+	}
+	wg.Wait()
+}
+
+func (n *node) poll(ctx context.Context, nTraces int) {
+	var (
+		requests, shed, hedges, hedgeWins int64
+		id                                string
+		vectors                           int
+		p50, p99                          time.Duration
+	)
+	if n.router {
+		var st cluster.StatsResponse
+		if err := n.client.Do(ctx, "GET", "/v1/stats", nil, &st); err != nil {
+			n.fail(err)
+			return
+		}
+		id = "router"
+		requests = st.Cluster.Searches + st.Cluster.BatchSearches
+		hedges = st.Cluster.Hedges
+		hedgeWins = st.Cluster.HedgeWins
+		if s, ok := st.LatencyWindow["apknn_cluster_search_seconds"]; ok {
+			p50, p99 = time.Duration(s.P50NS), time.Duration(s.P99NS)
+		}
+	} else {
+		st, err := n.client.Stats(ctx)
+		if err != nil {
+			n.fail(err)
+			return
+		}
+		requests = st.Serving.Requests + st.Serving.BatchRequests
+		shed = st.Serving.Rejected
+		if st.Node != nil {
+			id = st.Node.ID
+			vectors = st.Node.Vectors
+		}
+		if s, ok := st.LatencyWindow["apknn_serve_search_seconds"]; ok {
+			p50, p99 = time.Duration(s.P50NS), time.Duration(s.P99NS)
+		}
+	}
+	version, anomalies, recorded := n.scrapeMetrics(ctx)
+	var traces []*obs.TraceRecord
+	for _, class := range []string{obs.ClassSlow, obs.ClassError} {
+		dt, err := n.client.DebugTraces(ctx, url.Values{
+			"class": {class}, "n": {strconv.Itoa(nTraces)},
+		})
+		if err == nil {
+			traces = append(traces, dt.Traces...)
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.err = nil
+	n.prevAt, n.prevReqs = n.sampledAt, n.requests
+	n.sampledAt = time.Now()
+	n.requests, n.shed, n.hedges, n.hedgeWins = requests, shed, hedges, hedgeWins
+	n.p50, n.p99 = p50, p99
+	n.vectors = vectors
+	if id != "" {
+		n.id = id
+	}
+	if version != "" {
+		n.version = version
+	}
+	n.anomalies, n.recorded = anomalies, recorded
+	n.traces = traces
+}
+
+func (n *node) fail(err error) {
+	n.mu.Lock()
+	n.err = err
+	n.mu.Unlock()
+}
+
+// scrapeMetrics pulls the few /metrics series the frame needs: the build
+// version label, the anomaly-dump trip counter, and the flight-recorder
+// completion counter. Best-effort — a node without /metrics just shows
+// blanks. /metrics is Prometheus text, not JSON, so this bypasses the API
+// client.
+func (n *node) scrapeMetrics(ctx context.Context) (version string, anomalies, recorded int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.client.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", 0, 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", 0, 0
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return "", 0, 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "apknn_build_info{"):
+			if i := strings.Index(line, `version="`); i >= 0 {
+				rest := line[i+len(`version="`):]
+				if j := strings.IndexByte(rest, '"'); j >= 0 {
+					version = rest[:j]
+				}
+			}
+		case strings.HasPrefix(line, "apknn_anomaly_dumps_total "):
+			anomalies, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, "apknn_debug_traces_recorded_total "):
+			recorded, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	return version, anomalies, recorded
+}
+
+func render(w *bufio.Writer, nodes []*node, nTraces int) {
+	fmt.Fprintf(w, "aptop %s  %s  %d node(s)\n\n",
+		obs.BuildVersion(), time.Now().Format("15:04:05"), len(nodes))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tADDR\tQPS\tP50(1m)\tP99(1m)\tSHED\tHEDGE\tVEC\tTRACES\tANOM\tVER")
+	for _, n := range nodes {
+		n.mu.Lock()
+		if n.err != nil {
+			fmt.Fprintf(tw, "%s\t%s\tDOWN: %v\t\t\t\t\t\t\t\t\n", n.label(), n.addr, n.err)
+			n.mu.Unlock()
+			continue
+		}
+		qps := "-"
+		if !n.prevAt.IsZero() {
+			dt := n.sampledAt.Sub(n.prevAt).Seconds()
+			if dt > 0 {
+				qps = fmt.Sprintf("%.1f", float64(n.requests-n.prevReqs)/dt)
+			}
+		}
+		hedge := ""
+		if n.router {
+			hedge = fmt.Sprintf("%d/%d", n.hedgeWins, n.hedges)
+		}
+		vec := ""
+		if n.vectors > 0 {
+			vec = strconv.Itoa(n.vectors)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%d\t%d\t%s\n",
+			n.label(), n.addr, qps, fmtDur(n.p50), fmtDur(n.p99),
+			n.shed, hedge, vec, n.recorded, n.anomalies, n.version)
+		n.mu.Unlock()
+	}
+	tw.Flush()
+
+	type anomalous struct {
+		node string
+		rec  *obs.TraceRecord
+	}
+	var recent []anomalous
+	for _, n := range nodes {
+		n.mu.Lock()
+		for _, rec := range n.traces {
+			recent = append(recent, anomalous{n.label(), rec})
+		}
+		n.mu.Unlock()
+	}
+	sort.Slice(recent, func(i, j int) bool {
+		return recent[i].rec.StartUnixNS > recent[j].rec.StartUnixNS
+	})
+	if len(recent) > nTraces {
+		recent = recent[:nTraces]
+	}
+	fmt.Fprintf(w, "\nRECENT ANOMALIES (slow + error, newest first)\n")
+	if len(recent) == 0 {
+		fmt.Fprintln(w, "  none")
+		return
+	}
+	for _, a := range recent {
+		status := a.rec.Status
+		if status == 0 {
+			status = 200
+		}
+		fmt.Fprintf(w, "  %s  %s  trace=%s  %s  [%s] status=%d\n",
+			time.Unix(0, a.rec.StartUnixNS).Format("15:04:05.000"),
+			a.node, a.rec.TraceID, fmtDur(time.Duration(a.rec.TotalNS)),
+			strings.Join(a.rec.Classes, ","), status)
+	}
+}
+
+func (n *node) label() string {
+	if n.id != "" {
+		return n.id
+	}
+	return n.addr
+}
+
+func fmtDur(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(10 * time.Microsecond).String()
+}

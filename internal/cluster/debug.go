@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// stitchTimeout bounds the per-replica trace fetches one stitched answer
+// may fan out.
+const stitchTimeout = 2 * time.Second
+
+// handleDebugTraces serves GET /v1/debug/traces on the router. The same
+// query surface as the shard endpoint (?trace_id=, ?class=, ?n=), plus
+// stitching: each router-side record's scatter-leg spans carry the span ID
+// and replica address the leg was sent with, so the router fetches the
+// shard-side tree by trace ID and grafts it under the exact leg whose span
+// ID the shard recorded as its parent. Stitching is on for ?trace_id=
+// lookups and off for class listings unless ?stitch=1 — a listing would
+// fan out one fetch per record per leg.
+func (r *Router) handleDebugTraces(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := req.URL.Query()
+	resp := serve.DebugTracesResponse{
+		Node:     r.cfg.NodeID,
+		Depth:    r.rec.Depth(),
+		Recorded: r.rec.Recorded(),
+		Classes:  r.rec.ClassCounts(),
+	}
+	var stitch bool
+	if id := obs.SanitizeRequestID(q.Get("trace_id")); id != "" {
+		resp.Traces = r.rec.ByTraceID(id)
+		stitch = q.Get("stitch") != "0"
+	} else {
+		class := q.Get("class")
+		if class == "" {
+			class = obs.ClassRecent
+		}
+		if !validTraceClass(class) {
+			serve.WriteError(w, http.StatusBadRequest,
+				"unknown trace class "+strconv.Quote(class)+": one of "+strings.Join(obs.Classes, "|"))
+			return
+		}
+		n, _ := strconv.Atoi(q.Get("n"))
+		resp.Traces = r.rec.Class(class, n)
+		stitch = q.Get("stitch") == "1"
+	}
+	if stitch {
+		stitched := make([]*obs.TraceRecord, len(resp.Traces))
+		var wg sync.WaitGroup
+		for i, rec := range resp.Traces {
+			wg.Add(1)
+			go func(i int, rec *obs.TraceRecord) {
+				defer wg.Done()
+				stitched[i] = r.stitch(req.Context(), rec)
+			}(i, rec)
+		}
+		wg.Wait()
+		resp.Traces = stitched
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+func validTraceClass(class string) bool {
+	for _, c := range obs.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// stitch returns a copy of rec with every scatter leg's shard-side tree
+// grafted under it. Legs whose replica cannot answer (or no longer retains
+// the trace) keep a stitch_error attr instead of failing the lookup — the
+// router-side tree alone is still evidence.
+func (r *Router) stitch(ctx context.Context, rec *obs.TraceRecord) *obs.TraceRecord {
+	out := *rec
+	out.Root = rec.Root.Clone()
+	// Group this trace's legs by replica address: one fetch per replica
+	// answers every leg (hedge siblings included) it served.
+	byAddr := make(map[string][]*obs.WireSpan)
+	for _, leg := range out.Root.Children {
+		if leg.Attr("span_id") != "" && leg.Attr("replica") != "" {
+			byAddr[leg.Attr("replica")] = append(byAddr[leg.Attr("replica")], leg)
+		}
+	}
+	if len(byAddr) == 0 {
+		return &out
+	}
+	clients := r.clientsByAddr()
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards the fetched map
+	fetched := make(map[string][]*obs.TraceRecord, len(byAddr))
+	errs := make(map[string]string, len(byAddr))
+	for addr := range byAddr {
+		c, ok := clients[addr]
+		if !ok {
+			errs[addr] = "replica not in manifest"
+			continue
+		}
+		wg.Add(1)
+		go func(addr string, c *serve.Client) {
+			defer wg.Done()
+			fctx, cancel := context.WithTimeout(ctx, stitchTimeout)
+			defer cancel()
+			dt, err := c.DebugTraces(fctx, url.Values{"trace_id": {rec.TraceID}})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[addr] = err.Error()
+				return
+			}
+			fetched[addr] = dt.Traces
+		}(addr, c)
+	}
+	wg.Wait()
+	for addr, legs := range byAddr {
+		for _, leg := range legs {
+			if msg, bad := errs[addr]; bad {
+				leg.Attrs["stitch_error"] = msg
+				continue
+			}
+			// The shard recorded our leg's span ID as its root's parent —
+			// that is the exact attempt (hedges have distinct IDs) whose
+			// answer this subtree describes.
+			var hit *obs.WireSpan
+			for _, srec := range fetched[addr] {
+				if srec.Root.Attr("parent_span_id") == leg.Attr("span_id") {
+					hit = srec.Root
+					break
+				}
+			}
+			if hit == nil {
+				leg.Attrs["stitch_error"] = "shard recorder no longer retains this trace"
+				continue
+			}
+			leg.Children = append(leg.Children, hit)
+		}
+	}
+	return &out
+}
+
+// clientsByAddr indexes every replica's client by its address.
+func (r *Router) clientsByAddr() map[string]*serve.Client {
+	out := make(map[string]*serve.Client)
+	for _, set := range r.sets {
+		for _, rep := range set.replicas {
+			out[rep.addr] = rep.client
+		}
+	}
+	return out
+}

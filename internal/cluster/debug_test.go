@@ -1,0 +1,201 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	apknn "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// pollTraces retries a /v1/debug/traces lookup until a record appears: the
+// recorder completes in a deferred hook that can land a beat after the
+// response reaches the client.
+func pollTraces(t *testing.T, c *serve.Client, query url.Values) *serve.DebugTracesResponse {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		dt, err := c.DebugTraces(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dt.Traces) > 0 {
+			return dt
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("trace %v never reached the flight recorder", query)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestDebugTracesStitched is the cross-node acceptance test: one search
+// through the router must yield, at the router's /v1/debug/traces, a single
+// stitched tree — scatter legs for every shard, each carrying the
+// shard-side subtree whose recorded parent span ID is exactly that leg's
+// span ID, under one consistent trace ID.
+func TestDebugTracesStitched(t *testing.T) {
+	ds := apknn.RandomDataset(31, 600, 32)
+	tc := bootCluster(t, ds, 2, 1, false, cluster.Config{}, nil)
+
+	const traceID = "stitch-e2e-1"
+	ctx := obs.WithRequestID(context.Background(), traceID)
+	q := apknn.RandomQueries(32, 1, 32)[0]
+	if _, err := tc.client.Search(ctx, q, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	dt := pollTraces(t, tc.client, url.Values{"trace_id": {traceID}})
+	if dt.Node != "router" {
+		t.Fatalf("router debug node = %q", dt.Node)
+	}
+	rec := dt.Traces[0]
+	if rec.TraceID != traceID || rec.Status != 200 {
+		t.Fatalf("record = %+v", rec)
+	}
+	root := rec.Root
+	if root.Name != "router.search" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	if root.Find("merge") == nil {
+		t.Error("merge span missing")
+	}
+	for shard := 0; shard < 2; shard++ {
+		leg := root.Find(fmt.Sprintf("shard%d_leg", shard))
+		if leg == nil {
+			t.Fatalf("shard%d leg missing from %+v", shard, root)
+		}
+		if leg.Attr("span_id") == "" || leg.Attr("replica") == "" {
+			t.Fatalf("leg attrs = %v", leg.Attrs)
+		}
+		if len(leg.Children) != 1 {
+			t.Fatalf("shard%d leg has %d stitched children (stitch_error=%q)",
+				shard, len(leg.Children), leg.Attr("stitch_error"))
+		}
+		sub := leg.Children[0]
+		if sub.Name != "serve.search" {
+			t.Fatalf("stitched subtree root = %q", sub.Name)
+		}
+		if sub.Attr("parent_span_id") != leg.Attr("span_id") {
+			t.Fatalf("parentage broken: shard recorded %q, leg is %q",
+				sub.Attr("parent_span_id"), leg.Attr("span_id"))
+		}
+		if want := fmt.Sprintf("shard%d-a", shard); sub.Attr("node") != want {
+			t.Fatalf("stitched node = %q, want %q", sub.Attr("node"), want)
+		}
+		for _, name := range []string{"queue_wait", "backend"} {
+			if sub.Find(name) == nil {
+				t.Errorf("shard%d subtree missing %q: %+v", shard, name, sub)
+			}
+		}
+	}
+
+	// The same trace ID must be independently retrievable on each shard —
+	// that is what the router's stitcher (and a debugging human) fetches.
+	for shard := 0; shard < 2; shard++ {
+		shardClient := &serve.Client{BaseURL: tc.nodes[shard][0].ts.URL}
+		sdt := pollTraces(t, shardClient, url.Values{"trace_id": {traceID}})
+		if sdt.Traces[0].TraceID != traceID {
+			t.Fatalf("shard %d kept trace %q", shard, sdt.Traces[0].TraceID)
+		}
+	}
+
+	// A class listing does not stitch by default (it would fan out one
+	// fetch per record per leg on every aptop poll).
+	ctx2, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	listing, err := tc.client.DebugTraces(ctx2, url.Values{"class": {obs.ClassRecent}})
+	if err != nil || len(listing.Traces) == 0 {
+		t.Fatalf("recent listing: %v", err)
+	}
+	for _, lr := range listing.Traces {
+		for _, leg := range lr.Root.Children {
+			if len(leg.Children) != 0 {
+				t.Fatalf("unstitched listing carries a grafted subtree: %+v", leg)
+			}
+		}
+	}
+}
+
+// TestDebugTracesHedgeSiblings forces a hedge win and asserts both attempts
+// appear as sibling leg spans of one trace — the stalled primary and the
+// hedged winner, the winner marked.
+func TestDebugTracesHedgeSiblings(t *testing.T) {
+	ds := apknn.RandomDataset(41, 400, 32)
+	var stalls atomic.Int64
+	tc := bootCluster(t, ds, 1, 2, false,
+		cluster.Config{HedgeDelay: 10 * time.Millisecond},
+		func(shard, rep int, h http.Handler) http.Handler {
+			if rep != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/search" {
+					stalls.Add(1)
+					select {
+					case <-time.After(5 * time.Second):
+					case <-r.Context().Done():
+						return
+					}
+				}
+				h.ServeHTTP(w, r)
+			})
+		})
+	q := apknn.RandomQueries(42, 1, 32)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var hedgedTrace string
+	for i := 0; i < 4 && hedgedTrace == ""; i++ {
+		id := fmt.Sprintf("hedge-e2e-%d", i)
+		before := stalls.Load()
+		if _, err := tc.client.Search(obs.WithRequestID(ctx, id), q, 3); err != nil {
+			t.Fatal(err)
+		}
+		if stalls.Load() > before {
+			hedgedTrace = id
+		}
+	}
+	if hedgedTrace == "" {
+		t.Fatal("the stalled replica never became primary; no hedge to inspect")
+	}
+
+	dt := pollTraces(t, tc.client, url.Values{"trace_id": {hedgedTrace}, "stitch": {"0"}})
+	root := dt.Traces[0].Root
+	var legs []*obs.WireSpan
+	for _, c := range root.Children {
+		if c.Name == "shard0_leg" {
+			legs = append(legs, c)
+		}
+	}
+	if len(legs) != 2 {
+		t.Fatalf("trace has %d shard0 legs, want hedge siblings: %+v", len(legs), root)
+	}
+	var winners, hedged int
+	for _, leg := range legs {
+		if leg.Attr("winner") == "true" {
+			winners++
+			if leg.Attr("hedged") != "true" {
+				t.Fatalf("winning leg was not the hedge: %v", leg.Attrs)
+			}
+		}
+		if leg.Attr("hedged") == "true" {
+			hedged++
+		}
+	}
+	if winners != 1 || hedged != 1 {
+		t.Fatalf("winners=%d hedged=%d, want exactly one each (legs: %+v, %+v)",
+			winners, hedged, legs[0].Attrs, legs[1].Attrs)
+	}
+	if dt.Classes[obs.ClassHedge] == 0 {
+		t.Fatalf("hedge-won trace not classified: %v", dt.Classes)
+	}
+}

@@ -59,6 +59,15 @@ type Config struct {
 	// SlowQuery is the slow-query threshold; zero with SlowQueryLog set logs
 	// every routed request.
 	SlowQuery time.Duration
+	// NodeID names this router in its flight-recorder records and the
+	// /v1/debug/traces node field (default "router").
+	NodeID string
+	// TraceDepth is the per-class flight-recorder retention (0 = the obs
+	// default).
+	TraceDepth int
+	// TraceSlowFactor classifies a routed request into the slow ring at this
+	// multiple of the windowed routed-search p99 (0 = the obs default).
+	TraceSlowFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultK <= 0 {
 		c.DefaultK = 10
+	}
+	if c.NodeID == "" {
+		c.NodeID = "router"
 	}
 	return c
 }
@@ -100,6 +112,7 @@ type Router struct {
 	sets      []*shardSet
 	cfg       Config
 	ctrs      clusterCounters
+	rec       *obs.FlightRecorder
 	mux       *http.ServeMux
 	hc        *http.Client
 	ownHC     bool
@@ -121,6 +134,10 @@ func New(m *Manifest, cfg Config) (*Router, error) {
 		r.ownHC = true
 	}
 	r.sets = newPool(m, r.hc)
+	r.rec = obs.NewFlightRecorder(cfg.NodeID, cfg.TraceDepth, cfg.TraceSlowFactor,
+		func(now time.Time) int64 {
+			return clusterSearchHist.WindowSnapshot(now).Quantile(0.99)
+		})
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/v1/search", r.handleSearch)
 	r.mux.HandleFunc("/v1/search_batch", r.handleSearchBatch)
@@ -128,6 +145,7 @@ func New(m *Manifest, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("/v1/delete", r.handleDelete)
 	r.mux.HandleFunc("/v1/stats", r.handleStats)
 	r.mux.HandleFunc("/v1/analytics", r.handleAnalytics)
+	r.mux.HandleFunc("/v1/debug/traces", r.handleDebugTraces)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
 	r.mux.HandleFunc("/metrics", r.handleMetrics)
 	probeCtx, cancel := context.WithCancel(context.Background())
@@ -225,6 +243,9 @@ type attemptResult struct {
 	err    error
 	rep    *replica
 	hedged bool
+	// span is this attempt's leg span — hedged attempts are sibling spans of
+	// the same trace; the winning one gets the winner attr.
+	span *obs.Span
 	// launched is when this attempt was fired; a winning hedge subtracts the
 	// primary's launch from it to report the hedge-win margin.
 	launched time.Time
@@ -257,12 +278,29 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 		if primaryLaunch.IsZero() {
 			primaryLaunch = launched
 		}
+		// Each attempt is its own child span: hedges become siblings under
+		// the request root. The span ID travels upstream in X-Trace-Context,
+		// so the shard's own tree can later be stitched under exactly this
+		// leg (see handleDebugTraces).
+		span := tr.Root().StartChild(stage)
+		lctx := actx
+		if span != nil {
+			spanID := obs.NewSpanID()
+			span.SetAttr("span_id", spanID)
+			span.SetAttr("replica", rep.addr)
+			if hedged {
+				span.SetAttr("hedged", "true")
+			}
+			lctx = obs.WithTraceContext(actx, tr.ID, spanID)
+		}
 		go func() {
-			out, err := call(actx, rep.client)
+			out, err := call(lctx, rep.client)
 			leg := time.Since(launched)
 			legHist.Record(leg)
-			tr.Observe(stage, leg)
-			if err == nil {
+			span.EndIn(leg)
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			} else {
 				// Successful legs feed the replica's latency EWMA and its
 				// windowed series — the signal candidate ordering and
 				// adaptive hedging read. Failures are scored separately
@@ -270,7 +308,7 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 				// neither.
 				rep.observe(leg, time.Now())
 			}
-			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged, launched: launched}
+			results <- attemptResult{out: out, err: err, rep: rep, hedged: hedged, span: span, launched: launched}
 		}()
 	}
 	launch(false)
@@ -298,6 +336,11 @@ func (r *Router) shardCall(ctx context.Context, set *shardSet,
 		case res := <-results:
 			inflight--
 			if res.err == nil {
+				if next > 1 {
+					// More than one attempt flew for this leg — mark which
+					// sibling actually answered.
+					res.span.SetAttr("winner", "true")
+				}
 				if res.hedged {
 					r.ctrs.hedgeWins.Add(1)
 					// The win margin is bounded below by how long the primary
@@ -365,8 +408,10 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	start := time.Now()
-	tr := obs.StartTrace(ensureRequestID(w, req))
-	defer r.observeRequest(clusterSearchHist, tr, start)
+	sw := serve.NewStatusRecorder(w)
+	w = sw
+	tr := r.beginTrace(w, req, "router.search")
+	defer r.observeRequest(clusterSearchHist, tr, start, sw)
 	var body serve.SearchRequest
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
 		serve.WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -414,6 +459,7 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 		serve.WriteError(w, clusterStatus(err), err.Error())
 		return
 	}
+	msp := tr.Root().StartChild("merge")
 	var merged []apknn.Neighbor
 	maxFlush := 0
 	for i, out := range outs {
@@ -423,6 +469,7 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 		}
 		merged = knn.MergeTopK(merged, r.toGlobal(i, resp.Neighbors), k)
 	}
+	msp.End()
 	serve.WriteJSON(w, http.StatusOK, serve.SearchResponse{
 		Neighbors: toWire(merged),
 		FlushSize: maxFlush,
@@ -440,8 +487,10 @@ func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	start := time.Now()
-	tr := obs.StartTrace(ensureRequestID(w, req))
-	defer r.observeRequest(clusterSearchBatchHist, tr, start)
+	sw := serve.NewStatusRecorder(w)
+	w = sw
+	tr := r.beginTrace(w, req, "router.search_batch")
+	defer r.observeRequest(clusterSearchBatchHist, tr, start, sw)
 	if len(body.Queries) == 0 {
 		serve.WriteError(w, http.StatusBadRequest, "empty query batch")
 		return
@@ -480,10 +529,12 @@ func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
 		serve.WriteError(w, clusterStatus(err), err.Error())
 		return
 	}
+	msp := tr.Root().StartChild("merge")
 	merged := make([][]apknn.Neighbor, len(body.Queries))
 	for i, out := range outs {
 		resp := out.(*serve.SearchBatchResponse)
 		if len(resp.Neighbors) != len(body.Queries) {
+			msp.End()
 			serve.WriteError(w, http.StatusBadGateway, fmt.Sprintf(
 				"cluster: shard %d answered %d result sets for %d queries", i, len(resp.Neighbors), len(body.Queries)))
 			return
@@ -492,6 +543,7 @@ func (r *Router) handleSearchBatch(w http.ResponseWriter, req *http.Request) {
 			merged[qi] = knn.MergeTopK(merged[qi], r.toGlobal(i, ns), k)
 		}
 	}
+	msp.End()
 	out := serve.SearchBatchResponse{Neighbors: make([][]serve.Neighbor, len(merged))}
 	for qi, ns := range merged {
 		out.Neighbors[qi] = toWire(ns)

@@ -246,10 +246,13 @@ func (x *Index) Insert(ctx context.Context, v bitvec.Vector) (int, error) {
 	}
 	x.mu.Lock()
 	if x.wal != nil {
+		sp := obs.StartSpan(ctx, "wal_append")
 		if err := x.wal.Append(wal.InsertRecord(x.store.firstID+x.store.n, v)); err != nil {
+			sp.End()
 			x.mu.Unlock()
 			return 0, fmt.Errorf("live: log insert: %w", err)
 		}
+		sp.End()
 	}
 	id := x.store.append(v)
 	old := x.cur.Load()
@@ -283,10 +286,13 @@ func (x *Index) Delete(ctx context.Context, id int) error {
 		return fmt.Errorf("live: id %d: %w", id, aperr.ErrNotFound)
 	}
 	if x.wal != nil {
+		sp := obs.StartSpan(ctx, "wal_append")
 		if err := x.wal.Append(wal.Record{Type: wal.RecDelete, ID: id}); err != nil {
+			sp.End()
 			x.mu.Unlock()
 			return fmt.Errorf("live: log delete: %w", err)
 		}
+		sp.End()
 	}
 	tomb := make(map[int]struct{}, len(old.tomb)+1)
 	for t := range old.tomb {
@@ -338,7 +344,9 @@ func (x *Index) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][
 		// Over-fetch by the base tombstone count: the top k+baseTombs of
 		// the base always contain at least k live vectors (or the whole
 		// base, if it is smaller).
-		bres, err := v.base.searcher.Search(ctx, queries, k+v.baseTombs)
+		bsp := obs.StartSpan(ctx, "base_search")
+		bres, err := v.base.searcher.Search(obs.WithSpan(ctx, bsp), queries, k+v.baseTombs)
+		bsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -365,6 +373,7 @@ func (x *Index) Search(ctx context.Context, queries []bitvec.Vector, k int) ([][
 			}
 			results[qi] = knn.MergeTopK(results[qi], v.scanDelta(q, k), k)
 		}
+		obs.CurrentSpan(ctx).ObserveChild("delta_scan", time.Since(scanStart))
 		deltaScanHist.Record(time.Since(scanStart))
 		x.deltaScanNS.Add(int64(x.opts.ScanCost(v.delta.Len(), len(queries), x.dim)))
 	}

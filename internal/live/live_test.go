@@ -578,6 +578,14 @@ func TestLiveKernelSearchDuringCompaction(t *testing.T) {
 					}
 					prev = nb
 					v, ok := vecs.Load(nb.ID)
+					for retry := 0; !ok && retry < 100; retry++ {
+						// An insert becomes searchable inside idx.Insert, a
+						// beat before the inserter goroutine records the
+						// returned ID in vecs — give the Store a moment
+						// before calling the ID phantom.
+						time.Sleep(100 * time.Microsecond)
+						v, ok = vecs.Load(nb.ID)
+					}
 					if !ok {
 						t.Errorf("result ID %d was never inserted", nb.ID)
 						return

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the build's human-readable revision, injected at link time:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=v1.2.3"
+//
+// Unset builds fall back to the VCS revision recorded by the Go toolchain,
+// then to "dev".
+var Version = ""
+
+// BuildVersion resolves the effective build version (see Version).
+func BuildVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return "dev"
+}
+
+// WriteBuildInfo emits the standard build-attribution gauge, so dashboards
+// can pin every series scrape to an exact binary:
+//
+//	apknn_build_info{version="abc123",go="go1.22.1"} 1
+func WriteBuildInfo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP apknn_build_info Build and runtime identity of this process (constant 1).\n")
+	fmt.Fprintf(w, "# TYPE apknn_build_info gauge\n")
+	fmt.Fprintf(w, "apknn_build_info{version=%q,go=%q} 1\n", BuildVersion(), runtime.Version())
+}

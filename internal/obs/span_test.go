@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ci-trace-0042", "ci-trace-0042"},
+		{"a.b_c-D9", "a.b_c-D9"},
+		{"", ""},
+		{"with space", "withspace"},
+		{"inject=\"x\"\nlevel=ERROR", "injectxlevelERROR"},
+		{"\x1b[31mred\x1b[0m", "31mred0m"},
+		{"{};'`$()", ""},
+		{strings.Repeat("a", 500), strings.Repeat("a", MaxRequestIDLen)},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tid, sid := NewRequestID(), NewSpanID()
+	gotTID, gotSID, ok := ParseTraceContext(FormatTraceContext(tid, sid))
+	if !ok || gotTID != tid || gotSID != sid {
+		t.Fatalf("round-trip gave (%q, %q, %v), want (%q, %q, true)", gotTID, gotSID, ok, tid, sid)
+	}
+	for _, bad := range []string{"", "no-slash", "/x", "x/", "$()/'`"} {
+		if _, _, ok := ParseTraceContext(bad); ok {
+			t.Errorf("ParseTraceContext(%q) accepted", bad)
+		}
+	}
+	// Hostile-but-salvageable input sanitizes rather than rejects.
+	if tid, sid, ok := ParseTraceContext("ti d/$(sid)"); !ok || tid != "tid" || sid != "sid" {
+		t.Fatalf("sanitizing parse gave (%q, %q, %v)", tid, sid, ok)
+	}
+	ctx := WithTraceContext(context.Background(), tid, sid)
+	if gotTID, gotSID, ok := TraceContext(ctx); !ok || gotTID != tid || gotSID != sid {
+		t.Fatalf("context round-trip gave (%q, %q, %v)", gotTID, gotSID, ok)
+	}
+	if _, _, ok := TraceContext(context.Background()); ok {
+		t.Fatal("empty context claimed a trace context")
+	}
+}
+
+// TestSpanNilSafe drives the whole span surface through nil receivers — the
+// untraced hot path (apbench, direct library use) runs exactly these no-ops
+// per request and must never allocate a tree or panic.
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	if child := sp.StartChild("x"); child != nil {
+		t.Fatalf("nil span spawned child %v", child)
+	}
+	sp.ObserveChild("x", time.Second)
+	sp.AttachChild(NewSpan("y"))
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.EndIn(time.Second)
+	if sp.Wire() != nil {
+		t.Fatal("nil span produced a wire tree")
+	}
+	if CurrentSpan(context.Background()) != nil {
+		t.Fatal("empty context has a current span")
+	}
+	if StartSpan(context.Background(), "x") != nil {
+		t.Fatal("StartSpan on empty context allocated")
+	}
+}
+
+func TestSpanTreeWire(t *testing.T) {
+	root := NewSpan("request")
+	root.SetAttr("node", "shard0-a")
+	q := root.StartChild("queue_wait")
+	q.EndIn(2 * time.Millisecond)
+	b := root.StartChild("backend")
+	k := b.StartChild("kernel_scan")
+	k.EndIn(3 * time.Millisecond)
+	b.EndIn(5 * time.Millisecond)
+	root.EndIn(8 * time.Millisecond)
+
+	w := root.Wire()
+	if w.Name != "request" || w.DurNS != (8*time.Millisecond).Nanoseconds() {
+		t.Fatalf("root wire = %+v", w)
+	}
+	if w.Attr("node") != "shard0-a" {
+		t.Fatalf("root attrs = %v", w.Attrs)
+	}
+	if len(w.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(w.Children))
+	}
+	if got := w.Find("kernel_scan"); got == nil || got.DurNS != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("kernel_scan = %+v", got)
+	}
+	var names []string
+	w.Walk(func(ws *WireSpan) { names = append(names, ws.Name) })
+	if strings.Join(names, ",") != "request,queue_wait,backend,kernel_scan" {
+		t.Fatalf("walk order = %v", names)
+	}
+
+	// Clone must be a deep copy: grafting into the clone (what the router's
+	// stitcher does) must not leak into the recorder's retained original.
+	c := w.Clone()
+	c.Children[0].Children = append(c.Children[0].Children, &WireSpan{Name: "grafted"})
+	c.Children[0].Attrs = map[string]string{"stitch_error": "x"}
+	if w.Find("grafted") != nil || w.Children[0].Attr("stitch_error") != "" {
+		t.Fatal("mutating the clone reached the original")
+	}
+}
+
+// TestSpanConcurrentChildren creates children from many goroutines while a
+// reader snapshots — the scatter-legs-vs-debug-endpoint race. Run with
+// -race to make this meaningful.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("request")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := root.StartChild("leg")
+				sp.SetAttr("k", "v")
+				sp.EndIn(time.Microsecond)
+				_ = root.Wire()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(root.Wire().Children); got != 400 {
+		t.Fatalf("recorded %d children, want 400", got)
+	}
+}
+
+// TestTraceStagesFlattenTree verifies Stages() still feeds the slow-query
+// log after the span-tree upgrade: nested spans flatten depth-first, the
+// root excluded, so stage_<name> attrs keep their pre-tree names.
+func TestTraceStagesFlattenTree(t *testing.T) {
+	tr := StartTrace("abc")
+	tr.Observe("queue_wait", 2*time.Millisecond)
+	b := tr.Root().StartChild("backend")
+	b.StartChild("kernel_scan").EndIn(time.Millisecond)
+	b.EndIn(4 * time.Millisecond)
+	stages := tr.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("stages = %+v", stages)
+	}
+	want := []string{"queue_wait", "backend", "kernel_scan"}
+	for i, s := range stages {
+		if s.Name != want[i] {
+			t.Fatalf("stage %d = %q, want %q (all: %+v)", i, s.Name, want[i], stages)
+		}
+	}
+}

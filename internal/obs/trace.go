@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"log/slog"
+	"strings"
 	"sync"
 	"time"
 )
@@ -16,11 +17,25 @@ import (
 // line back to the caller.
 const RequestIDHeader = "X-Request-ID"
 
+// TraceContextHeader carries span-tree parentage across the router→shard
+// hop: "traceID/parentSpanID". The shard adopts the trace ID for its own
+// tree and records the parent span ID as a root attribute, so the router
+// can later stitch the shard's tree under the exact scatter leg that
+// produced it (hedged legs carry distinct span IDs).
+const TraceContextHeader = "X-Trace-Context"
+
+// MaxRequestIDLen caps a caller-supplied request ID after sanitization.
+// Long enough for a UUID plus prefix, short enough that a hostile header
+// cannot bloat every log line and trace record it rides into.
+const MaxRequestIDLen = 64
+
 type ctxKey int
 
 const (
 	requestIDKey ctxKey = iota
 	traceKey
+	spanKey
+	traceContextKey
 )
 
 // NewRequestID returns a fresh 16-hex-char request ID.
@@ -32,6 +47,58 @@ func NewRequestID() string {
 		return "0000000000000000"
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 8-hex-char span ID — unique enough to tell
+// sibling scatter legs of one trace apart, which is all stitching needs.
+func NewSpanID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID filters a caller-supplied request ID down to the
+// charset [A-Za-z0-9._-] and caps its length, so a hostile X-Request-ID
+// header cannot inject forged fields into structured log lines or trace
+// attributes. Disallowed bytes are dropped; an ID with nothing left
+// returns "" and the caller assigns a fresh one.
+func SanitizeRequestID(id string) string {
+	if len(id) > 4*MaxRequestIDLen {
+		// Don't even scan an absurd header; take a bounded prefix first.
+		id = id[:4*MaxRequestIDLen]
+	}
+	var b strings.Builder
+	for i := 0; i < len(id) && b.Len() < MaxRequestIDLen; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// FormatTraceContext renders the TraceContextHeader value.
+func FormatTraceContext(traceID, spanID string) string {
+	return traceID + "/" + spanID
+}
+
+// ParseTraceContext splits a TraceContextHeader value into its sanitized
+// trace and parent-span IDs. Malformed or empty values report ok=false.
+func ParseTraceContext(v string) (traceID, spanID string, ok bool) {
+	i := strings.IndexByte(v, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	traceID = SanitizeRequestID(v[:i])
+	spanID = SanitizeRequestID(v[i+1:])
+	if traceID == "" || spanID == "" {
+		return "", "", false
+	}
+	return traceID, spanID, true
 }
 
 // WithRequestID attaches a request ID to the context; Client.do forwards it
@@ -46,54 +113,353 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
-// Stage is one named timing inside a request's span breakdown.
+type traceContext struct {
+	traceID string
+	spanID  string
+}
+
+// WithTraceContext attaches outgoing span parentage to the context;
+// Client.do forwards it upstream as the TraceContextHeader. The router sets
+// one per scatter attempt, each with that attempt's own span ID.
+func WithTraceContext(ctx context.Context, traceID, spanID string) context.Context {
+	return context.WithValue(ctx, traceContextKey, traceContext{traceID: traceID, spanID: spanID})
+}
+
+// TraceContext returns the context's outgoing span parentage, ok=false when
+// none was attached.
+func TraceContext(ctx context.Context) (traceID, spanID string, ok bool) {
+	tc, ok := ctx.Value(traceContextKey).(traceContext)
+	return tc.traceID, tc.spanID, ok
+}
+
+// Stage is one named timing inside a request's span breakdown — the flat
+// projection of the span tree the slow-query log prints.
 type Stage struct {
 	Name string
 	Dur  time.Duration
 }
 
-// Trace is the per-request span recorder: the handler creates one, every
-// tier the request crosses observes its stage into it, and the slow-query
-// log prints the assembled breakdown. Observe and Stages are safe for
-// concurrent use (a flush goroutine records backend time while the handler
-// goroutine waits); a nil *Trace ignores every call, so deep layers can
-// observe unconditionally.
+// Attr is one key/value annotation on a span, kept in set order.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed node of a request's trace tree. Spans are safe for
+// concurrent use: sibling children may be created and ended from different
+// goroutines (hedged scatter legs, flush workers). Every method is nil-safe
+// — a nil *Span ignores calls and StartChild returns nil — so untraced code
+// paths pay only a nil check.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// NewSpan starts a detached root span, clocked from now. The batcher uses
+// one per flush and grafts it into every member's tree afterwards.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild creates and returns a running child span, clocked from now.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// ObserveChild appends an already-completed child span that ended now and
+// lasted d — the span form of the flat Trace.Observe.
+func (s *Span) ObserveChild(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now().Add(-d), dur: d, ended: true}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// AttachChild grafts an existing (completed) span as a child — how one
+// flush's backend span lands in every coalesced member's tree. The subtree
+// may be shared between parents; it must not be mutated after attachment.
+func (s *Span) AttachChild(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration at now−start. Second and later
+// calls are ignored, so defer sp.End() composes with explicit ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// EndIn closes the span with an explicit duration.
+func (s *Span) EndIn(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = d
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span; a repeated key overwrites in place.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Attr returns the span's value for key, "" when unset.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Name returns the span's name, "" for nil.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartTime returns when the span started.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the recorded duration; a still-running span reports its
+// elapsed time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns a snapshot of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Wire deep-copies the span tree into its JSON wire form. Safe to call
+// while sibling branches are still being recorded.
+func (s *Span) Wire() *WireSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ws := &WireSpan{
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurNS:       int64(s.dur),
+	}
+	if !s.ended {
+		ws.DurNS = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		ws.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			ws.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		ws.Children = append(ws.Children, c.Wire())
+	}
+	return ws
+}
+
+// WireSpan is the JSON form of one span — what /v1/debug/traces serves and
+// what the router stitches shard-side trees into.
+type WireSpan struct {
+	Name        string            `json:"name"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurNS       int64             `json:"dur_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []*WireSpan       `json:"children,omitempty"`
+}
+
+// Attr returns the wire span's value for key, "" when unset.
+func (ws *WireSpan) Attr(key string) string {
+	if ws == nil {
+		return ""
+	}
+	return ws.Attrs[key]
+}
+
+// Find returns the first span named name in a depth-first walk, the
+// receiver included; nil when absent.
+func (ws *WireSpan) Find(name string) *WireSpan {
+	if ws == nil {
+		return nil
+	}
+	if ws.Name == name {
+		return ws
+	}
+	for _, c := range ws.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the wire tree — stitching grafts fetched shard trees
+// into a copy so the recorder's retained records stay untouched.
+func (ws *WireSpan) Clone() *WireSpan {
+	if ws == nil {
+		return nil
+	}
+	out := &WireSpan{Name: ws.Name, StartUnixNS: ws.StartUnixNS, DurNS: ws.DurNS}
+	if len(ws.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(ws.Attrs))
+		for k, v := range ws.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	for _, c := range ws.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Walk visits every span depth-first, the receiver first.
+func (ws *WireSpan) Walk(fn func(*WireSpan)) {
+	if ws == nil {
+		return
+	}
+	fn(ws)
+	for _, c := range ws.Children {
+		c.Walk(fn)
+	}
+}
+
+// Trace is the per-request span tree: the handler creates one, every tier
+// the request crosses records spans into it, the slow-query log prints the
+// flattened breakdown and the flight recorder retains the whole tree.
+// Observe and Stages are safe for concurrent use (a flush goroutine records
+// backend time while the handler goroutine waits); a nil *Trace ignores
+// every call, so deep layers can observe unconditionally.
 type Trace struct {
 	ID    string
 	Start time.Time
 
-	mu     sync.Mutex
-	stages []Stage
+	root *Span
 }
 
-// StartTrace begins a span for one request.
+// NewTrace begins a trace whose root span carries rootName.
+func NewTrace(id, rootName string) *Trace {
+	root := NewSpan(rootName)
+	return &Trace{ID: id, Start: root.start, root: root}
+}
+
+// StartTrace begins a trace for one request with the generic root name.
 func StartTrace(id string) *Trace {
-	return &Trace{ID: id, Start: time.Now()}
+	return NewTrace(id, "request")
 }
 
-// Observe appends one stage timing. Nil-safe.
+// Root returns the trace's root span, nil for a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Observe appends one completed stage as a direct child of the root — the
+// flat recording form deep layers keep using. Nil-safe.
 func (t *Trace) Observe(stage string, d time.Duration) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.stages = append(t.stages, Stage{Name: stage, Dur: d})
-	t.mu.Unlock()
+	t.root.ObserveChild(stage, d)
 }
 
-// Stages returns a copy of the recorded stages in observation order.
+// Stages flattens the span tree depth-first (root excluded) into the flat
+// stage list the slow-query log prints.
 func (t *Trace) Stages() []Stage {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]Stage, len(t.stages))
-	copy(out, t.stages)
+	var out []Stage
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for _, c := range s.Children() {
+			out = append(out, Stage{Name: c.Name(), Dur: c.Duration()})
+			walk(c)
+		}
+	}
+	walk(t.root)
 	return out
 }
 
-// Attrs renders the span as slog attributes — request_id, total, then one
+// Attrs renders the trace as slog attributes — request_id, total, then one
 // attribute per stage — the one line format of the slow-query log.
 func (t *Trace) Attrs(total time.Duration) []slog.Attr {
 	attrs := []slog.Attr{
@@ -116,4 +482,31 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 func TraceFrom(ctx context.Context) *Trace {
 	t, _ := ctx.Value(traceKey).(*Trace)
 	return t
+}
+
+// WithSpan marks sp as the context's current span, so nested layers attach
+// their children under it rather than under the trace root.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		// Untraced request: don't grow the context chain — every value
+		// wrapper is an allocation plus a longer Value() walk on the
+		// search hot path.
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, sp)
+}
+
+// CurrentSpan returns the context's current span, falling back to the
+// attached trace's root; nil (safe to use) when the request is untraced.
+func CurrentSpan(ctx context.Context) *Span {
+	if sp, _ := ctx.Value(spanKey).(*Span); sp != nil {
+		return sp
+	}
+	return TraceFrom(ctx).Root()
+}
+
+// StartSpan starts a child of the context's current span. The caller must
+// End it; a nil result (untraced request) ends as a no-op.
+func StartSpan(ctx context.Context, name string) *Span {
+	return CurrentSpan(ctx).StartChild(name)
 }

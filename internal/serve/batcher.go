@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,17 @@ const (
 	flushByDeadline
 	flushOnClose
 )
+
+func (c flushCause) String() string {
+	switch c {
+	case flushBySize:
+		return "size"
+	case flushByDeadline:
+		return "deadline"
+	default:
+		return "close"
+	}
+}
 
 // counters is the atomically updated backing store for ServingStats.
 type counters struct {
@@ -250,7 +262,11 @@ func (b *batcher) runFlush(reqs []*request, cause flushCause) {
 		}
 	}
 	if first := live[0].enqueued; !first.IsZero() {
-		assemblyHist.Record(flushStart.Sub(first))
+		assembly := flushStart.Sub(first)
+		assemblyHist.Record(assembly)
+		for _, r := range live {
+			r.trace.Observe("flush_assembly", assembly)
+		}
 	}
 	b.ctrs.flushes.Add(1)
 	switch cause {
@@ -276,12 +292,21 @@ func (b *batcher) runFlush(reqs []*request, cause flushCause) {
 	}
 	ctx, cancel := batchContext(live)
 	defer cancel()
+	// One backend span is recorded for the whole flush and grafted into
+	// every member's tree afterwards: the flush context does not descend
+	// from any single member, so backend-internal spans (kernel scan, delta
+	// scan, WAL) nest under this shared subtree instead.
+	fspan := obs.NewSpan("backend")
+	fspan.SetAttr("flush_size", strconv.Itoa(len(live)))
+	fspan.SetAttr("flush_cause", cause.String())
 	backendStart := time.Now()
-	results, err := b.idx.Search(ctx, queries, maxK)
+	results, err := b.idx.Search(obs.WithSpan(ctx, fspan), queries, maxK)
 	backendDur := time.Since(backendStart)
+	fspan.EndIn(backendDur)
 	backendHist.Record(backendDur)
 	for _, r := range live {
-		r.trace.Observe("backend", backendDur)
+		// The subtree is complete and shared read-only between members.
+		r.trace.Root().AttachChild(fspan)
 	}
 	for i, r := range live {
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -123,6 +124,21 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 func (c *Client) Analytics(ctx context.Context) (*AnalyticsResponse, error) {
 	var out AnalyticsResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/analytics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DebugTraces fetches the node's flight recorder. query selects the view
+// (class=, n=, trace_id= — see DebugTracesResponse); nil lists the recent
+// ring. The router's stitcher uses the trace_id form against shards.
+func (c *Client) DebugTraces(ctx context.Context, query url.Values) (*DebugTracesResponse, error) {
+	path := "/v1/debug/traces"
+	if len(query) > 0 {
+		path += "?" + query.Encode()
+	}
+	var out DebugTracesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -259,6 +275,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	// aprouter's scatter legs carry the caller's ID to every shard.
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	// Span parentage travels the same way: the router attaches one trace
+	// context per scatter attempt, so the shard's tree records which leg
+	// span it hangs under.
+	if tid, sid, ok := obs.TraceContext(ctx); ok {
+		req.Header.Set(obs.TraceContextHeader, obs.FormatTraceContext(tid, sid))
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

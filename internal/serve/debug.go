@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StatusRecorder wraps a ResponseWriter to capture the final status code
+// and, for error answers, a bounded copy of the body — what the flight
+// recorder needs to classify a finished request (shed vs errored vs ok)
+// without coupling the handlers to the recorder. Shared with the cluster
+// router so both tiers classify identically.
+type StatusRecorder struct {
+	http.ResponseWriter
+	status  int
+	errBody []byte
+}
+
+// NewStatusRecorder wraps w; handlers must write through the wrapper.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+func (w *StatusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// errBodyCap bounds how much of an error body a trace record retains.
+const errBodyCap = 256
+
+func (w *StatusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	if w.status >= http.StatusBadRequest && len(w.errBody) < errBodyCap {
+		take := errBodyCap - len(w.errBody)
+		if take > len(p) {
+			take = len(p)
+		}
+		w.errBody = append(w.errBody, p[:take]...)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status returns the written status, 200 when the handler never set one.
+func (w *StatusRecorder) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// ErrorBody returns the captured (bounded, trimmed) error body, "" for
+// successful answers.
+func (w *StatusRecorder) ErrorBody() string {
+	return strings.TrimSpace(string(w.errBody))
+}
+
+// validTraceClass reports whether class names a flight-recorder ring.
+func validTraceClass(class string) bool {
+	for _, c := range obs.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDebugTraces serves GET /v1/debug/traces: the node's flight
+// recorder. ?trace_id= returns every retained record of one trace;
+// otherwise ?class= (default recent) and ?n= select a newest-first listing.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	resp := DebugTracesResponse{
+		Node:     s.cfg.NodeID,
+		Depth:    s.rec.Depth(),
+		Recorded: s.rec.Recorded(),
+		Classes:  s.rec.ClassCounts(),
+	}
+	if id := obs.SanitizeRequestID(q.Get("trace_id")); id != "" {
+		resp.Traces = s.rec.ByTraceID(id)
+	} else {
+		class := q.Get("class")
+		if class == "" {
+			class = obs.ClassRecent
+		}
+		if !validTraceClass(class) {
+			WriteError(w, http.StatusBadRequest,
+				"unknown trace class "+strconv.Quote(class)+": one of "+strings.Join(obs.Classes, "|"))
+			return
+		}
+		n, _ := strconv.Atoi(q.Get("n"))
+		resp.Traces = s.rec.Class(class, n)
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// newFlightRecorder builds the serving tier's recorder: the slow classifier
+// compares each request against the windowed end-to-end search p99.
+func newFlightRecorder(cfg Config) *obs.FlightRecorder {
+	node := cfg.NodeID
+	if node == "" {
+		node = cfg.Addr
+	}
+	return obs.NewFlightRecorder(node, cfg.TraceDepth, cfg.TraceSlowFactor,
+		func(now time.Time) int64 {
+			return searchHist.WindowSnapshot(now).Quantile(0.99)
+		})
+}

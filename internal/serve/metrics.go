@@ -68,8 +68,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.SetMetricsHeaders(w)
+	obs.WriteBuildInfo(w)
 	obs.Default.WritePrometheus(w)
 	obs.Default.WriteWindowed(w, time.Now())
+	obs.WriteCounter(w, "apknn_debug_traces_recorded_total",
+		"Traces completed into the flight recorder", s.rec.Recorded())
+	if s.anomaly != nil {
+		obs.WriteCounter(w, "apknn_anomaly_dumps_total",
+			"Anomaly bundles dumped to the debug directory", s.anomaly.Trips())
+	}
 	st := s.ctrs.snapshot()
 	obs.WriteCounter(w, "apknn_serve_requests_total",
 		"Requests admitted into the micro-batcher via /v1/search", st.Requests)
@@ -111,11 +118,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // observeRequest finishes one traced request: the end-to-end histogram
-// record and, when the request overran the configured threshold, one
-// structured slow-query line with the full stage breakdown.
-func (s *Server) observeRequest(h *obs.Histogram, tr *obs.Trace, start time.Time) {
+// record (h may be nil for endpoints without one), the root span's end, the
+// flight-recorder completion, and — when the request overran the configured
+// threshold — one structured slow-query line with the full stage breakdown.
+func (s *Server) observeRequest(h *obs.Histogram, tr *obs.Trace, start time.Time, sw *StatusRecorder) {
 	total := time.Since(start)
-	h.Record(total)
+	if h != nil {
+		h.Record(total)
+	}
+	tr.Root().EndIn(total)
+	s.rec.Complete(tr, total, obs.Outcome{Status: sw.Status(), Err: sw.ErrorBody()})
 	lg := s.cfg.SlowQueryLog
 	if lg == nil || total < s.cfg.SlowQuery {
 		return
@@ -123,11 +135,37 @@ func (s *Server) observeRequest(h *obs.Histogram, tr *obs.Trace, start time.Time
 	lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", tr.Attrs(total)...)
 }
 
-// ensureRequestID reads the caller's request ID, assigns a fresh one when
-// the header is absent, and echoes it on the response — so every answer
-// names the ID that will appear in any slow-query log line it produced.
+// beginTrace opens the span tree for one request: the (sanitized) request
+// ID is assigned and echoed, and an incoming X-Trace-Context — the router's
+// scatter legs send one per attempt — makes this tree a child of the
+// caller's: same trace ID, parent span ID retained for stitching.
+func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request, rootName string) *obs.Trace {
+	id := ensureRequestID(w, r)
+	traceID, parent := id, ""
+	if tid, sid, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceContextHeader)); ok {
+		traceID, parent = tid, sid
+	}
+	tr := obs.NewTrace(traceID, rootName)
+	root := tr.Root()
+	if s.cfg.NodeID != "" {
+		root.SetAttr("node", s.cfg.NodeID)
+	}
+	if id != traceID {
+		root.SetAttr("request_id", id)
+	}
+	if parent != "" {
+		root.SetAttr("parent_span_id", parent)
+	}
+	return tr
+}
+
+// ensureRequestID reads the caller's request ID, sanitizes it (length cap
+// plus charset whitelist, so a hostile header cannot forge fields in the
+// structured log stream), assigns a fresh one when absent or empty after
+// filtering, and echoes it on the response — so every answer names the ID
+// that will appear in any slow-query log line it produced.
 func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
-	id := r.Header.Get(obs.RequestIDHeader)
+	id := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
 	if id == "" {
 		id = obs.NewRequestID()
 	}

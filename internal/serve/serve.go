@@ -83,6 +83,26 @@ type Config struct {
 	// SlowQuery is the slow-query threshold. With SlowQueryLog set, zero
 	// means every request is logged — the trace-everything setting.
 	SlowQuery time.Duration
+	// TraceDepth is how many completed traces the always-on flight recorder
+	// retains per class (recent, slow, error, shed, hedge); 0 uses
+	// obs.DefaultTraceDepth. The recorder backs GET /v1/debug/traces.
+	TraceDepth int
+	// TraceSlowFactor classifies a request into the slow ring when its total
+	// reaches this multiple of the windowed search p99 (0 = the obs default).
+	TraceSlowFactor float64
+	// AnomalyTarget, when positive together with DebugDir, arms the anomaly
+	// watcher: a windowed search p99 breaching AnomalyFactor×AnomalyTarget
+	// dumps a post-mortem bundle (retained traces, window summaries,
+	// optional profiles) into DebugDir.
+	AnomalyTarget time.Duration
+	// AnomalyFactor is the breach multiple (0 = default 3).
+	AnomalyFactor float64
+	// DebugDir receives anomaly bundles (apserve passes -data-dir/debug).
+	DebugDir string
+	// AnomalyProfiles adds heap and goroutine pprof profiles to each bundle.
+	AnomalyProfiles bool
+	// AnomalyLog, when non-nil, gets one structured line per anomaly trip.
+	AnomalyLog *slog.Logger
 }
 
 // DefaultBatchWindow is the flush deadline used when Config.BatchWindow is
@@ -131,6 +151,8 @@ type Server struct {
 	limit    atomic.Int64
 	slo      *sloController // non-nil when cfg.SLOTargetP99 > 0
 	heat     *heat.Tracker
+	rec      *obs.FlightRecorder
+	anomaly  *obs.AnomalyWatcher // non-nil when cfg.AnomalyTarget > 0 and DebugDir is set
 	ctrs     counters
 	closed   atomic.Bool
 	mux      *http.ServeMux
@@ -156,6 +178,18 @@ func New(idx apknn.Index, cfg Config) *Server {
 	}
 	s.mut, _ = idx.(Mutable)
 	s.batcher = newBatcher(idx, cfg.MaxBatch, cfg.BatchWindow, cfg.MaxConcurrentFlushes, &s.ctrs)
+	s.rec = newFlightRecorder(cfg)
+	if cfg.AnomalyTarget > 0 && cfg.DebugDir != "" {
+		s.anomaly = obs.NewAnomalyWatcher(obs.AnomalyConfig{
+			Target:   cfg.AnomalyTarget,
+			Factor:   cfg.AnomalyFactor,
+			Dir:      cfg.DebugDir,
+			Profiles: cfg.AnomalyProfiles,
+			Logger:   cfg.AnomalyLog,
+		}, func(now time.Time) int64 {
+			return searchHist.WindowSnapshot(now).Quantile(0.99)
+		}, s.rec, obs.Default)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/search_batch", s.handleSearchBatch)
@@ -163,6 +197,7 @@ func New(idx apknn.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/analytics", s.handleAnalytics)
+	s.mux.HandleFunc("/v1/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -196,6 +231,9 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	if s.slo != nil {
 		s.slo.close()
+	}
+	if s.anomaly != nil {
+		s.anomaly.Close()
 	}
 	return s.batcher.close(ctx)
 }
@@ -249,8 +287,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	tr := obs.StartTrace(ensureRequestID(w, r))
-	defer s.observeRequest(searchHist, tr, start)
+	sw := NewStatusRecorder(w)
+	w = sw
+	tr := s.beginTrace(w, r, "serve.search")
+	defer s.observeRequest(searchHist, tr, start, sw)
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -284,7 +324,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// equivalent count as one key.
 	s.heat.Observe(q.String())
 
-	ctx := obs.WithRequestID(r.Context(), tr.ID)
+	ctx := obs.WithTrace(obs.WithRequestID(r.Context(), tr.ID), tr)
 	if body.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
@@ -325,8 +365,10 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	tr := obs.StartTrace(ensureRequestID(w, r))
-	defer s.observeRequest(searchBatchHist, tr, start)
+	sw := NewStatusRecorder(w)
+	w = sw
+	tr := s.beginTrace(w, r, "serve.search_batch")
+	defer s.observeRequest(searchBatchHist, tr, start, sw)
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -362,11 +404,17 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = s.cfg.DefaultK
 	}
+	// A client-formed batch skips the micro-batcher, so the backend span is
+	// opened here; backend-internal spans (kernel scan, delta scan) nest
+	// under it via the context.
+	ctx := obs.WithTrace(obs.WithRequestID(r.Context(), tr.ID), tr)
+	bspan := obs.StartSpan(ctx, "backend")
+	bspan.SetAttr("flush_size", strconv.Itoa(len(queries)))
 	backendStart := time.Now()
-	results, err := s.idx.Search(obs.WithRequestID(r.Context(), tr.ID), queries, k)
+	results, err := s.idx.Search(obs.WithSpan(ctx, bspan), queries, k)
 	backendDur := time.Since(backendStart)
+	bspan.EndIn(backendDur)
 	backendHist.Record(backendDur)
-	tr.Observe("backend", backendDur)
 	if err != nil {
 		WriteError(w, statusFor(err), err.Error())
 		return
@@ -383,6 +431,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 // the delta segment and is searchable the moment the response is written;
 // the board reconfiguration is deferred to the next compaction.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := NewStatusRecorder(w)
+	w = sw
+	tr := s.beginTrace(w, r, "serve.insert")
+	defer s.observeRequest(nil, tr, start, sw)
 	mut, release := s.admitMutation(w, r)
 	if release == nil {
 		return
@@ -403,7 +456,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			"vector has %d bits, dataset has %d: %v", v.Dim(), s.cfg.Dim, apknn.ErrDimMismatch))
 		return
 	}
-	id, err := mut.Insert(r.Context(), v)
+	// The trace rides the context so the live index's WAL append lands as a
+	// span in this tree.
+	id, err := mut.Insert(obs.WithTrace(obs.WithRequestID(r.Context(), tr.ID), tr), v)
 	if err != nil {
 		WriteError(w, statusFor(err), err.Error())
 		return
@@ -416,6 +471,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 // tombstoned and stops appearing in results immediately; storage is
 // reclaimed by the next compaction.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := NewStatusRecorder(w)
+	w = sw
+	tr := s.beginTrace(w, r, "serve.delete")
+	defer s.observeRequest(nil, tr, start, sw)
 	mut, release := s.admitMutation(w, r)
 	if release == nil {
 		return
@@ -426,7 +486,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	if err := mut.Delete(r.Context(), body.ID); err != nil {
+	if err := mut.Delete(obs.WithTrace(obs.WithRequestID(r.Context(), tr.ID), tr), body.ID); err != nil {
 		WriteError(w, statusFor(err), err.Error())
 		return
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	apknn "repro"
+	"repro/internal/obs"
 )
 
 // The JSON wire types of the /v1 serving API, shared by the HTTP handlers
@@ -166,6 +167,25 @@ type AnalyticsResponse struct {
 	TopQueries []HotQuery `json:"top_queries"`
 	// Load is this node's load-counter block.
 	Load ShardLoad `json:"load"`
+}
+
+// DebugTracesResponse answers GET /v1/debug/traces: the node's flight
+// recorder contents. Query parameters select the view — ?class= one of
+// recent|slow|error|shed|hedge (default recent), ?n= caps the count,
+// ?trace_id= returns every retained record of one trace instead (the form
+// the router's stitcher fetches from shards).
+type DebugTracesResponse struct {
+	// Node is the answering node's identity.
+	Node string `json:"node,omitempty"`
+	// Depth is the per-class ring retention.
+	Depth int `json:"depth"`
+	// Recorded counts every trace completed into the recorder since boot.
+	Recorded int64 `json:"recorded"`
+	// Classes maps each class to how many records it currently retains.
+	Classes map[string]int `json:"classes"`
+	// Traces is the selected records, newest first. On the router, each
+	// record's tree has shard-side trees stitched under their scatter legs.
+	Traces []*obs.TraceRecord `json:"traces"`
 }
 
 // HealthResponse answers GET /healthz.
